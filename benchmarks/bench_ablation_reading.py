@@ -1,0 +1,42 @@
+"""Ablation: merge-phase reading strategies (Section 3.7.2).
+
+Reproduces the qualitative result of the related-work systems: planning
+(Zheng & Larson) reads with the fewest stalls and the best total time;
+forecasting never loses to the naive reader; double buffering pays for
+its hidden latency with twice the refills.
+"""
+
+from conftest import run_once
+
+from repro.merge.reading import ReadingSimulator
+from repro.workloads.generators import random_input
+
+NUM_RUNS = 12
+RUN_RECORDS = 4_000
+MEMORY = 8_192
+
+
+def _sweep():
+    runs = [sorted(random_input(RUN_RECORDS, seed=i)) for i in range(NUM_RUNS)]
+    simulator = ReadingSimulator(runs, memory_records=MEMORY)
+    return simulator.compare()
+
+
+def test_bench_ablation_reading(benchmark):
+    reports = run_once(benchmark, _sweep)
+    print("\nReading strategies (simulated merge of "
+          f"{NUM_RUNS} x {RUN_RECORDS} records):")
+    for name, report in reports.items():
+        print(
+            f"  {name:<16} total={report.total_time:8.4f}s "
+            f"stall={report.stall_time:8.4f}s reads={report.block_reads:4d} "
+            f"seeks={report.seeks:4d}"
+        )
+    assert reports["planning"].total_time < reports["naive"].total_time
+    assert (
+        reports["forecasting"].total_time
+        <= reports["naive"].total_time * 1.05
+    )
+    assert reports["planning"].stall_time == min(
+        r.stall_time for r in reports.values()
+    )

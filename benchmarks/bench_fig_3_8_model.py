@@ -1,0 +1,19 @@
+"""Benchmark: Figure 3.8 — RS snowplow model converges to 2 - 2x."""
+
+from conftest import run_once
+
+from repro.experiments.fig_3_8_model import run
+
+
+def test_bench_fig_3_8_model(benchmark):
+    fits = run_once(benchmark, run)
+    print("\nFigure 3.8 convergence:")
+    for fit in fits:
+        print(
+            f"  run {fit.run_index}: length={fit.run_length:.3f} "
+            f"max|err|={fit.max_abs_error:.3f}"
+        )
+    # Paper: run lengths approach 2x memory and the density converges.
+    assert abs(fits[-1].run_length - 2.0) < 0.1
+    assert fits[-1].max_abs_error < 0.1
+    assert fits[-1].max_abs_error <= fits[0].max_abs_error

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 5.2 — runs per dataset across the factorial sweep."""
+
+from conftest import run_once
+
+from repro.experiments.fig_5_2_runs_by_dataset import run
+
+
+def test_bench_fig_5_2_runs_by_dataset(benchmark):
+    summaries = run_once(benchmark, run)
+    table = {s.dataset: s for s in summaries}
+    print("\nFigure 5.2 runs by dataset:")
+    for s in summaries:
+        print(
+            f"  {s.dataset:<18} min={s.minimum:5.0f} mean={s.mean:7.1f} "
+            f"max={s.maximum:5.0f}"
+        )
+    # Sorted and reverse-sorted: a single run (the Random input
+    # heuristic may cost one bounded startup run — see EXPERIMENTS.md).
+    assert table["sorted"].minimum == 1
+    assert table["sorted"].maximum <= 2
+    assert table["reverse_sorted"].minimum == 1
+    assert table["reverse_sorted"].maximum <= 2
+    # The mixed datasets show the widest configuration sensitivity.
+    mixed_spread = max(
+        table["mixed_balanced"].spread, table["mixed_imbalanced"].spread
+    )
+    assert mixed_spread >= table["random"].spread
+    assert mixed_spread > 0

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5.4 — run length falls linearly with buffer size."""
+
+from conftest import run_once
+
+from repro.experiments.fig_5_4_buffer_size import run
+
+
+def test_bench_fig_5_4_buffer_size(benchmark):
+    points = run_once(benchmark, run)
+    print("\nFigure 5.4 run length vs buffer size:")
+    for p in points:
+        print(
+            f"  {100 * p.buffer_fraction:6.2f}% -> {p.relative_run_length:5.2f}"
+        )
+    # Tiny buffers leave the classic 2x-memory run length intact.
+    assert 1.7 <= points[0].relative_run_length <= 2.2
+    # Run length decreases monotonically (within noise) with buffer share.
+    assert points[-1].relative_run_length < points[0].relative_run_length
+    # 20% buffers cost roughly 20% of the run length, not more than ~35%.
+    drop = 1 - points[-1].relative_run_length / points[0].relative_run_length
+    assert 0.05 <= drop <= 0.40

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 6.1 — merge time vs fan-in has its minimum at 10."""
+
+from conftest import run_once
+
+from repro.experiments.fig_6_1_fan_in import run
+
+FAN_INS = (2, 4, 6, 8, 10, 12, 14, 16, 18)
+
+
+def test_bench_fig_6_1_fan_in(benchmark):
+    points = run_once(benchmark, run, fan_ins=FAN_INS)
+    print("\nFigure 6.1 merge times:")
+    for point in points:
+        print(
+            f"  fan-in {point.fan_in:>2}: {point.merge_io_time:8.3f}s "
+            f"({point.passes} passes, {point.seeks} seeks)"
+        )
+    by_fan_in = {p.fan_in: p.merge_io_time for p in points}
+    best = min(by_fan_in, key=by_fan_in.get)
+    # The paper's optimum: fan-in 10 (allow its immediate neighbours).
+    assert best in (8, 10, 12), f"minimum at {best}"
+    # U-shape: the extremes are clearly worse than the optimum.
+    assert by_fan_in[2] > 1.5 * by_fan_in[best]
+    assert by_fan_in[18] > 1.5 * by_fan_in[best]

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 6.2 — random input, memory sweep (RS ~ 2WRS)."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_2_random_memory import run
+
+MEMORIES = (500, 1_000, 2_000, 4_000)
+INPUT = 50_000
+
+
+def test_bench_fig_6_2_random_memory(benchmark):
+    rows = run_once(
+        benchmark, run, memories=MEMORIES, input_records=INPUT
+    )
+    print("\n" + timing_table(rows, "memory"))
+    # Both algorithms get faster with more memory...
+    assert rows[-1].rs_total_time < rows[0].rs_total_time
+    assert rows[-1].twrs_total_time < rows[0].twrs_total_time
+    # ...and stay within a modest factor of each other on random data.
+    for row in rows:
+        assert 0.4 <= row.speedup <= 2.5, f"memory={row.x}: {row.speedup}"

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 6.3 — random input, input sweep (identical scaling)."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_3_random_scale import run
+
+SIZES = (25_000, 50_000, 100_000)
+
+
+def test_bench_fig_6_3_random_scale(benchmark):
+    rows = run_once(benchmark, run, input_sizes=SIZES)
+    print("\n" + timing_table(rows, "input"))
+    # Times grow with the input for both algorithms.
+    assert rows[-1].rs_total_time > rows[0].rs_total_time
+    assert rows[-1].twrs_total_time > rows[0].twrs_total_time
+    # Speedup stays flat (parallel trends in the paper's log plot).
+    speedups = [row.speedup for row in rows]
+    assert max(speedups) - min(speedups) < 1.0
+    for speedup in speedups:
+        assert 0.4 <= speedup <= 2.5

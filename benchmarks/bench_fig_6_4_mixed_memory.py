@@ -1,0 +1,24 @@
+"""Benchmark: Figure 6.4 — mixed input, memory sweep (2WRS ~3x faster)."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_4_mixed_memory import run
+
+# Keep the input >= 25x the largest memory: the paper's sweep never
+# reaches the regime where RS's run count drops below the fan-in.
+MEMORIES = (250, 500, 1_000, 2_000)
+INPUT = 50_000
+
+
+def test_bench_fig_6_4_mixed_memory(benchmark):
+    rows = run_once(
+        benchmark, run, memories=MEMORIES, input_records=INPUT
+    )
+    print("\n" + timing_table(rows, "memory"))
+    for row in rows:
+        # 2WRS collapses mixed data to very few runs and wins clearly.
+        assert row.twrs_runs <= 4
+        assert row.speedup > 1.3, f"memory={row.x}: speedup {row.speedup}"
+    # Somewhere in the sweep the advantage reaches the paper's ~2-3x.
+    assert max(row.speedup for row in rows) > 1.8

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6.5 — mixed input, input sweep (sustained speedup)."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_5_mixed_scale import run
+
+SIZES = (25_000, 50_000, 100_000)
+
+
+def test_bench_fig_6_5_mixed_scale(benchmark):
+    rows = run_once(benchmark, run, input_sizes=SIZES)
+    print("\n" + timing_table(rows, "input"))
+    for row in rows:
+        assert row.twrs_runs <= 4
+        assert row.speedup > 1.3, f"input={row.x}: speedup {row.speedup}"
+        # The paper notes even the 2WRS *run phase* wins on mixed data.
+        assert row.twrs_run_time < row.rs_run_time

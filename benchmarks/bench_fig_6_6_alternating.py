@@ -1,0 +1,24 @@
+"""Benchmark: Figure 6.6 — alternating input vs number of sections."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_6_alternating import run
+
+SECTIONS = (2, 5, 10, 25)
+INPUT = 50_000
+
+
+def test_bench_fig_6_6_alternating(benchmark):
+    rows = run_once(
+        benchmark, run, sections_sweep=SECTIONS, input_records=INPUT
+    )
+    print("\n" + timing_table(rows, "sections"))
+    by_sections = {row.x: row for row in rows}
+    # Few long sections: a clear 2WRS win (paper: up to ~3x).
+    assert by_sections[2].speedup > 1.5
+    # Many short sections: the advantage fades towards parity.
+    assert by_sections[25].speedup < by_sections[2].speedup
+    assert by_sections[25].speedup > 0.6
+    # 2WRS never generates more runs than one per monotone section + 1.
+    assert by_sections[2].twrs_runs <= 3

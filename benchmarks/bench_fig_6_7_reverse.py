@@ -1,0 +1,19 @@
+"""Benchmark: Figure 6.7 — reverse-sorted input (2WRS ~2.5x faster)."""
+
+from conftest import run_once
+
+from repro.experiments.common import timing_table
+from repro.experiments.fig_6_7_reverse import run
+
+SIZES = (25_000, 50_000, 100_000)
+
+
+def test_bench_fig_6_7_reverse(benchmark):
+    rows = run_once(benchmark, run, input_sizes=SIZES)
+    print("\n" + timing_table(rows, "input"))
+    for row in rows:
+        # Theorem 4: a single 2WRS run; Theorem 3: RS runs = memory.
+        assert row.twrs_runs == 1
+        assert row.rs_runs == row.x // 1_000
+        # The paper measures ~2.5x; accept a generous band around it.
+        assert row.speedup > 1.5, f"input={row.x}: speedup {row.speedup}"

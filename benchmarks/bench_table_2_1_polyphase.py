@@ -1,0 +1,14 @@
+"""Benchmark: Table 2.1 — polyphase merge schedule (exact match)."""
+
+from conftest import run_once
+
+from repro.experiments.table_2_1_polyphase import PAPER_TABLE_2_1, run
+
+
+def test_bench_table_2_1_polyphase(benchmark):
+    steps = run_once(benchmark, run)
+    observed = tuple(step.counts for step in steps)
+    assert observed == PAPER_TABLE_2_1
+    print("\nTable 2.1 counts per step:")
+    for step in steps:
+        print(f"  step {step.step}: {step.counts}")

@@ -1,0 +1,21 @@
+"""Benchmark: Tables 5.10-5.12 — mixed imbalanced ANOVA."""
+
+from conftest import run_once
+
+from repro.experiments.table_5_11_anova_imbalanced import run
+
+
+def test_bench_table_5_11_anova_imbalanced(benchmark):
+    result = run_once(benchmark, run)
+    print("\nTable 5.11 (WLS model):")
+    print(result.wls_model.format_table())
+    print(f"setup means: {result.setup_means}")
+    print(f"best setups: {result.best_setups}")
+    print(f"minimum runs: {result.minimum_runs:.0f}")
+    # The buffer setup is significant here (unlike the balanced case).
+    assert result.wls_model.term("i").is_significant()
+    # Using both buffers gives the best mean number of runs (Fig 5.11).
+    best_mean_setup = min(result.setup_means, key=result.setup_means.get)
+    assert best_mean_setup == "both"
+    # Optimal configurations reach the minimum possible two runs.
+    assert result.minimum_runs == 2

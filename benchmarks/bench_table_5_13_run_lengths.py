@@ -1,0 +1,42 @@
+"""Benchmark: Table 5.13 — run lengths of RS vs three 2WRS configs."""
+
+from conftest import run_once
+
+from repro.experiments.table_5_13_run_lengths import run
+
+MEMORY = 1_000
+INPUT = 100_000
+
+
+def test_bench_table_5_13_run_lengths(benchmark):
+    rows = run_once(
+        benchmark, run, memory_capacity=MEMORY, input_records=INPUT
+    )
+    table = {row.dataset: row for row in rows}
+    single = INPUT / MEMORY
+
+    print("\nTable 5.13 (relative run lengths):")
+    for row in rows:
+        print(
+            f"  {row.dataset:<18} RS={row.rs:7.2f} cfg1={row.cfg1:7.2f} "
+            f"cfg2={row.cfg2:7.2f} cfg3={row.cfg3:7.2f}"
+        )
+
+    # Sorted input: everyone produces a single run (Theorems 1-2).
+    for value in (table["sorted"].rs, table["sorted"].cfg3):
+        assert value == single
+    # Reverse sorted: RS worst case (1.0), 2WRS single run (Theorems 3-4).
+    assert abs(table["reverse_sorted"].rs - 1.0) < 0.05
+    assert table["reverse_sorted"].cfg1 == single
+    assert table["reverse_sorted"].cfg3 == single
+    # Alternating: RS ~2.0 (Theorem 5), 2WRS one run per section (Thm 6).
+    assert 1.5 <= table["alternating"].rs <= 2.2
+    assert table["alternating"].cfg3 >= 4.5
+    # Random: all close to 2.0; cfg2 (20% buffers) visibly lower.
+    assert 1.6 <= table["random"].rs <= 2.2
+    assert 1.6 <= table["random"].cfg3 <= 2.2
+    assert table["random"].cfg2 < table["random"].cfg3
+    # Mixed: cfg2/cfg3 collapse to the minimum possible two runs.
+    assert table["mixed_balanced"].cfg_runs["cfg3"] == 2
+    assert table["mixed_imbalanced"].cfg_runs["cfg3"] == 2
+    assert table["mixed_balanced"].rs <= 2.2

@@ -1,0 +1,23 @@
+"""Benchmark: Tables 5.5-5.8 — mixed balanced ANOVA + Tukey."""
+
+from conftest import run_once
+
+from repro.experiments.table_5_6_anova_mixed import run
+
+
+def test_bench_table_5_6_anova_mixed(benchmark):
+    result = run_once(benchmark, run)
+    print("\nTable 5.6 (WLS model):")
+    print(result.wls_model.format_table())
+    print(f"best input heuristics:  {result.best_input_heuristics}")
+    print(f"best output heuristics: {result.best_output_heuristics}")
+    print(f"minimum runs: {result.minimum_runs:.0f}")
+    # Heuristics are significant for mixed data (unlike random input).
+    assert result.wls_model.term("k").is_significant()
+    assert result.wls_model.term("l").is_significant()
+    # The paper's optimum (Mean input) is among the best input levels.
+    assert "mean" in result.best_input_heuristics
+    # Optimal configurations reach the minimum possible two runs.
+    assert result.minimum_runs == 2
+    # The model fits well.
+    assert result.wls_model.r_squared > 0.8

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+row data is printed (run pytest with ``-s`` to see it) and checked
+against the paper's qualitative shape with assertions.
+
+Benchmarks run the underlying experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the measured quantity of interest
+is the *simulated* time inside the harness, not the wall-clock of the
+Python loop, so repeated rounds would only add runtime.
+"""
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` a single time under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""A database ORDER BY operator built on the full external-sort pipeline.
+
+The paper motivates 2WRS with database workloads: a sort operator
+receives a stream of tuples from upstream operators (scans, joins) under
+a fixed memory quantum, spills runs to disk, and merges them.  This
+example sorts a synthetic "orders" table by an *anticorrelated* column —
+the paper's Chapter 7 scenario where sorting a table stored by column A
+on column B yields a reverse-sorted stream, RS's worst case.
+
+The pipeline runs over the simulated storage stack, so the printed times
+are simulated seconds (DESIGN.md section 3).
+
+Run with::
+
+    python examples/database_sort_operator.py
+"""
+
+import random
+
+from repro import ReplacementSelection, TwoWayReplacementSelection
+from repro.experiments.common import experiment_filesystem
+from repro.sort import ExternalSort
+
+MEMORY_QUANTUM = 2_000  # records the DBMS grants this operator
+TABLE_ROWS = 100_000
+
+
+def orders_table(rows, seed=7):
+    """Rows of (order_id, priority): priority anticorrelated with id.
+
+    The table is stored sorted by ``order_id``; scanning it and sorting
+    by ``priority`` therefore produces a (noisy) descending key stream.
+    """
+    rng = random.Random(seed)
+    for order_id in range(rows):
+        priority = (rows - order_id) * 1_000 + rng.randint(1, 999)
+        yield priority  # the sort key the operator sees
+
+
+def run_operator(name, generator):
+    pipeline = ExternalSort(generator, fs=experiment_filesystem(), fan_in=10)
+    sorted_file, report = pipeline.sort(orders_table(TABLE_ROWS))
+    first = sorted_file.read_page(0)[0]
+    print(
+        f"{name:<6} runs={report.runs:4d}  "
+        f"run phase={report.run_time:7.2f}s  "
+        f"merge={report.merge_phase.time:7.2f}s  "
+        f"total={report.total_time:7.2f}s  "
+        f"(first key out: {first})"
+    )
+    return report
+
+
+def main():
+    print(
+        f"ORDER BY priority over {TABLE_ROWS} rows, "
+        f"{MEMORY_QUANTUM}-record memory quantum\n"
+    )
+    rs = run_operator("RS", ReplacementSelection(MEMORY_QUANTUM))
+    twrs = run_operator("2WRS", TwoWayReplacementSelection(MEMORY_QUANTUM))
+    speedup = rs.total_time / twrs.total_time
+    print(
+        f"\n2WRS speedup: {speedup:.2f}x — its BottomHeap absorbs the "
+        "descending stream into a single run (paper measures ~2.5x, "
+        "Figure 6.7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

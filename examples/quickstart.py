@@ -1,0 +1,57 @@
+"""Quickstart: generate runs with RS and 2WRS and see why 2WRS wins.
+
+Run generation is the first phase of external mergesort: the fewer the
+runs, the cheaper the merge.  This example feeds the same three inputs
+to classic replacement selection (RS) and to two-way replacement
+selection (2WRS) and compares the number of runs each produces.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ReplacementSelection, TwoWayReplacementSelection
+from repro.workloads import (
+    mixed_balanced_input,
+    random_input,
+    reverse_sorted_input,
+)
+
+MEMORY = 1_000  # records of working memory
+INPUT = 50_000  # records to sort
+
+
+def describe(name, records):
+    records = list(records)
+    rs = ReplacementSelection(MEMORY)
+    twrs = TwoWayReplacementSelection(MEMORY)  # paper-recommended config
+
+    rs_runs = list(rs.generate_runs(records))
+    twrs_runs = list(twrs.generate_runs(records))
+
+    # Every run is sorted, and together they contain the whole input.
+    assert all(run == sorted(run) for run in rs_runs)
+    assert all(run == sorted(run) for run in twrs_runs)
+    assert sum(map(len, twrs_runs)) == len(records)
+
+    print(f"{name:<16} RS: {len(rs_runs):3d} runs "
+          f"(avg {rs.stats.average_run_length:8.0f} records)   "
+          f"2WRS: {len(twrs_runs):3d} runs "
+          f"(avg {twrs.stats.average_run_length:8.0f} records)")
+
+
+def main():
+    print(f"memory = {MEMORY} records, input = {INPUT} records\n")
+    describe("random", random_input(INPUT, seed=1))
+    describe("reverse sorted", reverse_sorted_input(INPUT, seed=1))
+    describe("mixed", mixed_balanced_input(INPUT, seed=1, noise=1000))
+    print(
+        "\nOn random data the two algorithms tie (both ~2x memory per run);"
+        "\non reverse-sorted data 2WRS needs a single run where RS produces"
+        "\none run per memory-full; on mixed data the victim buffer captures"
+        "\nboth trends at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

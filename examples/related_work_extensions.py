@@ -1,0 +1,106 @@
+"""Tour of the Section 3.7 / 7.1 extensions built into the library.
+
+The paper's related-work chapter surveys techniques that compose with
+RS/2WRS; all of them are implemented here:
+
+* batched replacement selection (miniruns, Section 3.7.1),
+* reading strategies for the merge phase (Section 3.7.2),
+* dynamic memory adjustment for concurrent sorts (Section 3.7.3),
+* hierarchical-data sorting (Section 3.7.4),
+* record compression during run generation (Section 3.7.5),
+* the adaptive input heuristic (Section 7.1, future work).
+
+Run with::
+
+    python examples/related_work_extensions.py
+"""
+
+import random
+
+from repro import BatchedReplacementSelection, ReplacementSelection
+from repro.core import TwoWayConfig
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.merge import ReadingSimulator
+from repro.runs import CompressedReplacementSelection, SubstringCodec
+from repro.sort import ConcurrentSortSimulator, HierarchicalSorter, SortJob, TreeNode
+from repro.workloads import alternating_input, random_input
+
+
+def batched_rs():
+    data = list(random_input(20_000, seed=1))
+    rs = ReplacementSelection(1_000)
+    brs = BatchedReplacementSelection(1_000, minirun_length=50)
+    rs_runs = len(list(rs.generate_runs(data)))
+    brs_runs = len(list(brs.generate_runs(data)))
+    print(f"batched RS:      heap of {brs.num_miniruns} entries instead of "
+          f"1000; runs {brs_runs} vs {rs_runs} for plain RS")
+
+
+def reading_strategies():
+    runs = [sorted(random_input(2_000, seed=i)) for i in range(10)]
+    reports = ReadingSimulator(runs, memory_records=4_096).compare()
+    ranked = sorted(reports.values(), key=lambda r: r.total_time)
+    order = " < ".join(r.strategy for r in ranked)
+    print(f"reading:         {order} (total simulated time)")
+
+
+def dynamic_memory():
+    def jobs():
+        out = [SortJob("big", list(random_input(40_000, seed=9)),
+                       minimum_memory=64, maximum_memory=4_096)]
+        out += [SortJob(f"s{i}", list(random_input(1_000, seed=i)),
+                        minimum_memory=64, maximum_memory=512) for i in range(3)]
+        return out
+
+    static = ConcurrentSortSimulator(jobs(), 2_048, dynamic=False).run()
+    dynamic = ConcurrentSortSimulator(jobs(), 2_048, dynamic=True).run()
+    print(f"memory broker:   makespan {max(dynamic.values()):.3f}s dynamic "
+          f"vs {max(static.values()):.3f}s static")
+
+
+def hierarchical():
+    rng = random.Random(0)
+    root = TreeNode("catalog")
+    for _ in range(3_000):
+        item = root.add(TreeNode(rng.randrange(10**6)))
+        item.add(TreeNode(rng.randrange(100)))
+    sorter = HierarchicalSorter(memory_capacity=256)
+    out = sorter.sort(root)
+    print(f"hierarchical:    {out.descendant_count()} nodes sorted, "
+          f"{sorter.external_sorts} sibling list(s) went external")
+
+
+def compression():
+    rng = random.Random(2)
+    cities = ["Barcelona", "Tarragona", "Girona", "Lleida"]
+    records = [
+        (rng.randrange(10**6), f"customer-{rng.choice(cities)}-{rng.randint(1, 99)}")
+        for _ in range(5_000)
+    ]
+    codec = SubstringCodec((p for _, p in records[:300]), max_codes=32)
+    plain = len(list(CompressedReplacementSelection(4_000).generate_runs(records)))
+    packed = len(list(CompressedReplacementSelection(4_000, codec).generate_runs(records)))
+    ratio = codec.ratio(p for _, p in records[:500])
+    print(f"compression:     payloads at {ratio:.0%} of original size -> "
+          f"{packed} runs vs {plain} uncompressed")
+
+
+def adaptive():
+    data = list(alternating_input(40_000, sections=8, seed=1, noise=100))
+    fixed = TwoWayReplacementSelection(500, TwoWayConfig(input_heuristic="mean"))
+    smart = TwoWayReplacementSelection(500, TwoWayConfig(input_heuristic="adaptive"))
+    print(f"adaptive:        alternating input, {smart.count_runs(data)} runs "
+          f"adaptive vs {fixed.count_runs(iter(data))} with fixed Mean")
+
+
+def main():
+    batched_rs()
+    reading_strategies()
+    dynamic_memory()
+    hierarchical()
+    compression()
+    adaptive()
+
+
+if __name__ == "__main__":
+    main()

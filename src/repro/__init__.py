@@ -1,0 +1,40 @@
+"""repro: reproduction of "Two-way Replacement Selection" (VLDB 2010).
+
+The package implements external-sort run generation with two-way
+replacement selection (2WRS), the replacement-selection baselines it
+improves on, the merge phase, a simulated storage stack, the paper's
+snowplow differential model, and the ANOVA machinery of its evaluation.
+
+Quickstart::
+
+    from repro import TwoWayReplacementSelection, ReplacementSelection
+    from repro.workloads import reverse_sorted_input
+
+    data = list(reverse_sorted_input(10_000))
+    rs = ReplacementSelection(memory_capacity=1_000)
+    twrs = TwoWayReplacementSelection(memory_capacity=1_000)
+    print(len(list(rs.generate_runs(data))))    # ~10 runs
+    print(len(list(twrs.generate_runs(data))))  # 1 run
+"""
+
+from repro.core.config import RECOMMENDED, TABLE_5_13_CONFIGS, TwoWayConfig
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.runs.base import RunGenerator, RunGeneratorStats
+from repro.runs.batched import BatchedReplacementSelection
+from repro.runs.load_sort_store import LoadSortStore
+from repro.runs.replacement_selection import ReplacementSelection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchedReplacementSelection",
+    "LoadSortStore",
+    "RECOMMENDED",
+    "ReplacementSelection",
+    "RunGenerator",
+    "RunGeneratorStats",
+    "TABLE_5_13_CONFIGS",
+    "TwoWayConfig",
+    "TwoWayReplacementSelection",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Closed-form run-length predictions from the paper's theorems.
+
+Section 5.1 proves what RS and 2WRS produce on the structured
+distributions; this module turns those statements into callable
+predictors so experiments and tests can compare *measured* run counts
+against *proved* ones.
+
+All functions return the predicted **number of runs** for an input of
+``n`` records and a memory of ``m`` records.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _require(n: int, m: int) -> None:
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+
+def rs_runs_sorted(n: int, m: int) -> int:
+    """Theorem 1: sorted input gives one run (when n > 0)."""
+    _require(n, m)
+    return 1 if n else 0
+
+
+def rs_runs_reverse_sorted(n: int, m: int) -> int:
+    """Theorem 3: reverse-sorted input gives runs of exactly m records."""
+    _require(n, m)
+    return math.ceil(n / m)
+
+
+def rs_runs_random(n: int, m: int) -> float:
+    """Section 3.5 (Knuth's snowplow): runs average 2 m records."""
+    _require(n, m)
+    if n == 0:
+        return 0.0
+    return n / (2.0 * m)
+
+
+def rs_alternating_average_run_length(k: int, m: int) -> float:
+    """Theorem 5: average RS run length for alternating sections of k.
+
+    The proof derives ``2 k / (1 + ceil(k/m - 1/2))`` records per run
+    for one ascending-plus-descending period of 2 k records (m << k).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    _require(k, m)
+    denominator = 1 + math.ceil(k / m - 0.5)
+    return 2.0 * k / denominator
+
+
+def rs_runs_alternating(n: int, sections: int, m: int) -> float:
+    """Theorem 5 restated as a run count for the whole input."""
+    _require(n, m)
+    if sections < 1:
+        raise ValueError(f"sections must be >= 1, got {sections}")
+    if n == 0:
+        return 0.0
+    k = n / sections
+    average = rs_alternating_average_run_length(int(k), m)
+    return n / average
+
+
+def twrs_runs_sorted(n: int, m: int) -> int:
+    """Theorem 2: 2WRS gives one run on sorted input."""
+    _require(n, m)
+    return 1 if n else 0
+
+
+def twrs_runs_reverse_sorted(n: int, m: int) -> int:
+    """Theorem 4: 2WRS gives one run on reverse-sorted input."""
+    _require(n, m)
+    return 1 if n else 0
+
+
+def twrs_runs_alternating(n: int, sections: int, m: int) -> int:
+    """Theorem 6: one run per monotone section (k >> m)."""
+    _require(n, m)
+    if sections < 1:
+        raise ValueError(f"sections must be >= 1, got {sections}")
+    return sections if n else 0
+
+
+def twrs_runs_random(n: int, m: int) -> float:
+    """Section 5.2.4: 2WRS matches RS's 2 m average on random input."""
+    return rs_runs_random(n, m)
+
+
+def theorem_7_bound(rs_runs: int, twrs_runs: int) -> bool:
+    """Theorem 7: with an appropriate heuristic 2WRS never loses to RS.
+
+    Expressed as a predicate on measured run counts.
+    """
+    return twrs_runs <= rs_runs

@@ -1,0 +1,177 @@
+"""Command-line interface: sort files and inspect run generation.
+
+Examples::
+
+    # external-sort newline-separated integers
+    python -m repro.cli sort --algorithm 2wrs --memory 1000 in.txt -o out.txt
+
+    # compare run generation across algorithms without sorting
+    python -m repro.cli runs --memory 1000 in.txt
+
+    # regenerate a paper experiment
+    python -m repro.cli experiment table_5_13_run_lengths
+
+    # generate one of the paper's datasets
+    python -m repro.cli dataset mixed_balanced --records 100000 > in.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Iterator, List, Optional, TextIO
+
+from repro.core.config import RECOMMENDED, TwoWayConfig
+from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.experiments import EXPERIMENTS
+from repro.merge.kway import kway_merge
+from repro.runs.base import RunGenerator
+from repro.runs.batched import BatchedReplacementSelection
+from repro.runs.load_sort_store import LoadSortStore
+from repro.runs.replacement_selection import ReplacementSelection
+from repro.workloads.generators import DISTRIBUTIONS, make_input
+
+ALGORITHMS = ("rs", "2wrs", "lss", "brs")
+
+
+def _read_keys(handle: TextIO) -> Iterator[int]:
+    for line in handle:
+        line = line.strip()
+        if line:
+            yield int(line)
+
+
+def _make_generator(args: argparse.Namespace) -> RunGenerator:
+    if args.algorithm == "rs":
+        return ReplacementSelection(args.memory)
+    if args.algorithm == "lss":
+        return LoadSortStore(args.memory)
+    if args.algorithm == "brs":
+        return BatchedReplacementSelection(args.memory)
+    config = TwoWayConfig(
+        buffer_setup=args.buffer_setup,
+        buffer_fraction=args.buffer_fraction,
+        input_heuristic=args.input_heuristic,
+        output_heuristic=args.output_heuristic,
+        seed=args.seed,
+    )
+    return TwoWayReplacementSelection(args.memory, config)
+
+
+def _open_input(path: Optional[str]) -> TextIO:
+    if path is None or path == "-":
+        return sys.stdin
+    return open(path, "r", encoding="utf-8")
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    generator = _make_generator(args)
+    with _open_input(args.input) as handle:
+        runs = [list(run) for run in generator.generate_runs(_read_keys(handle))]
+    merged = kway_merge(runs)
+    out = sys.stdout if args.output is None else open(args.output, "w", encoding="utf-8")
+    try:
+        for key in merged:
+            out.write(f"{key}\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(
+        f"{generator.name}: {generator.stats.records_in} records in "
+        f"{generator.stats.runs_out} runs "
+        f"(avg {generator.stats.average_run_length:.0f} records)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    with _open_input(args.input) as handle:
+        data = list(_read_keys(handle))
+    print(f"{'algorithm':<10} {'runs':>6} {'avg length':>12} {'cpu ops':>12}")
+    for name in ALGORITHMS:
+        namespace = argparse.Namespace(**vars(args))
+        namespace.algorithm = name
+        generator = _make_generator(namespace)
+        for _ in generator.generate_runs(iter(data)):
+            pass
+        stats = generator.stats
+        print(
+            f"{generator.name:<10} {stats.runs_out:>6} "
+            f"{stats.average_run_length:>12.1f} {stats.cpu_ops:>12}"
+        )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        known = "\n  ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.name!r}; known:\n  {known}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    records = make_input(args.name, args.records, seed=args.seed)
+    for value in records:
+        sys.stdout.write(f"{value}\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-way replacement selection: external sorting toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_generator_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--memory", type=int, default=10_000,
+                       help="working memory in records (default 10000)")
+        p.add_argument("--algorithm", choices=ALGORITHMS, default="2wrs")
+        p.add_argument("--buffer-setup", choices=("input", "both", "victim"),
+                       default=RECOMMENDED.buffer_setup)
+        p.add_argument("--buffer-fraction", type=float,
+                       default=RECOMMENDED.buffer_fraction)
+        p.add_argument("--input-heuristic", choices=sorted(INPUT_HEURISTICS),
+                       default=RECOMMENDED.input_heuristic)
+        p.add_argument("--output-heuristic", choices=sorted(OUTPUT_HEURISTICS),
+                       default=RECOMMENDED.output_heuristic)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_sort = sub.add_parser("sort", help="externally sort integer keys")
+    add_generator_options(p_sort)
+    p_sort.add_argument("input", nargs="?", help="input file ('-' = stdin)")
+    p_sort.add_argument("-o", "--output", help="output file (default stdout)")
+    p_sort.set_defaults(func=cmd_sort)
+
+    p_runs = sub.add_parser("runs", help="compare run generation across algorithms")
+    add_generator_options(p_runs)
+    p_runs.add_argument("input", nargs="?", help="input file ('-' = stdin)")
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument("name", help="experiment module name")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_data = sub.add_parser("dataset", help="emit one of the paper's datasets")
+    p_data.add_argument("name", choices=sorted(DISTRIBUTIONS))
+    p_data.add_argument("--records", type=int, default=100_000)
+    p_data.add_argument("--seed", type=int, default=0)
+    p_data.set_defaults(func=cmd_dataset)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Adaptive input heuristic and configuration advisor (Section 7.1).
+
+The paper's future-work chapter sketches two practical extensions:
+
+* an *adaptive heuristic* that detects the distribution the input is
+  currently following and switches routing behaviour accordingly, and
+* an *autonomic* configuration hook for query optimisers that already
+  know the distribution of an execution-plan node and can fix the 2WRS
+  parameters that minimise its sort time.
+
+Both are implemented here.  The adaptive heuristic classifies the input
+buffer sample by its rank correlation with time (ascending, descending,
+or unstructured) and delegates to the routing rule that Chapter 5 found
+optimal for that regime; the advisor maps a known distribution name to
+the optimal :class:`~repro.core.config.TwoWayConfig` from the Chapter 5
+analysis.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional, Sequence
+
+from repro.core.config import RECOMMENDED, TwoWayConfig
+from repro.core.heuristics import (
+    INPUT_HEURISTICS,
+    HeuristicContext,
+    InputHeuristic,
+    Side,
+)
+
+
+class Trend(Enum):
+    """Input regimes the adaptive heuristic distinguishes."""
+
+    ASCENDING = "ascending"
+    DESCENDING = "descending"
+    UNSTRUCTURED = "unstructured"
+
+
+def classify_trend(sample: Sequence[Any], threshold: float = 0.5) -> Trend:
+    """Classify a sample window by its concordance with arrival order.
+
+    Computes Kendall-style concordance over adjacent pairs: +1 for a
+    rise, -1 for a fall.  A mean beyond ``threshold`` in either
+    direction is called a trend; anything else is unstructured (random
+    or mixed).
+    """
+    if len(sample) < 3:
+        return Trend.UNSTRUCTURED
+    score = 0
+    pairs = 0
+    for a, b in zip(sample, sample[1:]):
+        if b > a:
+            score += 1
+        elif b < a:
+            score -= 1
+        pairs += 1
+    concordance = score / pairs
+    if concordance >= threshold:
+        return Trend.ASCENDING
+    if concordance <= -threshold:
+        return Trend.DESCENDING
+    return Trend.UNSTRUCTURED
+
+
+class AdaptiveInput(InputHeuristic):
+    """Trend-following input heuristic (the paper's Section 7.1 sketch).
+
+    * ascending input  -> route to the TopHeap (RS-equivalent, which
+      Theorem 7 proves never loses to RS);
+    * descending input -> route to the BottomHeap;
+    * unstructured     -> fall back to the Mean rule, the paper's
+      recommended general-purpose heuristic.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.last_trend = Trend.UNSTRUCTURED
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        sample = ctx.input_sample if ctx.input_sample is not None else []
+        self.last_trend = classify_trend(sample, self.threshold)
+        if self.last_trend is Trend.ASCENDING:
+            return Side.TOP
+        if self.last_trend is Trend.DESCENDING:
+            return Side.BOTTOM
+        if ctx.input_mean is None:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if value > ctx.input_mean else Side.BOTTOM
+
+
+#: Chapter 5 conclusions: optimal configuration per known distribution.
+#: Sorted / reverse-sorted / alternating are configuration-insensitive,
+#: so they inherit the recommended configuration; random wants minimal
+#: buffers; the mixed datasets want both buffers and large ones.
+_OPTIMAL_BY_DISTRIBUTION = {
+    "sorted": RECOMMENDED,
+    "reverse_sorted": RECOMMENDED,
+    "alternating": RECOMMENDED,
+    "random": TwoWayConfig(
+        buffer_setup="input",
+        buffer_fraction=0.0002,
+        input_heuristic="mean",
+        output_heuristic="random",
+    ),
+    "mixed_balanced": TwoWayConfig(
+        buffer_setup="both",
+        buffer_fraction=0.20,
+        input_heuristic="mean",
+        output_heuristic="random",
+    ),
+    "mixed_imbalanced": TwoWayConfig(
+        buffer_setup="both",
+        buffer_fraction=0.20,
+        input_heuristic="mean",
+        output_heuristic="random",
+    ),
+}
+
+
+def recommend_config(distribution: Optional[str] = None) -> TwoWayConfig:
+    """Optimal 2WRS configuration for a known input distribution.
+
+    This is the query-optimiser hook of Section 7.1: an optimiser that
+    knows the distribution at an execution-plan node can fix the sort
+    parameters.  Unknown / None falls back to the paper's recommended
+    all-round configuration (Section 5.3).
+    """
+    if distribution is None:
+        return RECOMMENDED
+    try:
+        return _OPTIMAL_BY_DISTRIBUTION[distribution]
+    except KeyError:
+        known = ", ".join(sorted(_OPTIMAL_BY_DISTRIBUTION))
+        raise ValueError(
+            f"unknown distribution {distribution!r}; known: {known}"
+        ) from None
+
+
+def register() -> None:
+    """Register the adaptive heuristic under its name (idempotent)."""
+    INPUT_HEURISTICS.setdefault(AdaptiveInput.name, AdaptiveInput)
+
+
+register()

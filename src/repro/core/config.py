@@ -1,0 +1,95 @@
+"""2WRS configuration: the factor space of the paper's ANOVA study.
+
+A configuration fixes the four factors of Section 5.2 (Table 5.1):
+
+* ``buffer_setup``   (factor i): which of the input / victim buffers exist,
+* ``buffer_fraction``(factor j): share of total memory given to buffers,
+* ``input_heuristic``(factor k) and ``output_heuristic`` (factor l).
+
+:data:`RECOMMENDED` is the configuration the paper selects in Section
+5.3 and uses for every Chapter 6 experiment; :data:`TABLE_5_13_CONFIGS`
+are the three parameterisations compared against RS in Table 5.13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Valid buffer setups (factor i levels 0..2 of Table 5.1).
+BUFFER_SETUPS = ("input", "both", "victim")
+
+#: Buffer-size factor levels of Table 5.1 (fraction of total memory).
+BUFFER_FRACTIONS = (0.0002, 0.002, 0.02, 0.20)
+
+
+@dataclass(frozen=True, slots=True)
+class TwoWayConfig:
+    """One point of the 2WRS configuration space.
+
+    Attributes
+    ----------
+    buffer_setup:
+        "input", "victim", or "both".
+    buffer_fraction:
+        Fraction of the total memory dedicated to buffers (split evenly
+        when both exist); the heaps get the remainder.
+    input_heuristic / output_heuristic:
+        Names registered in :mod:`repro.core.heuristics`.
+    seed:
+        Seed for the stochastic heuristics (None = nondeterministic).
+    """
+
+    buffer_setup: str = "both"
+    buffer_fraction: float = 0.02
+    input_heuristic: str = "mean"
+    output_heuristic: str = "random"
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_setup not in BUFFER_SETUPS:
+            raise ValueError(
+                f"buffer_setup must be one of {BUFFER_SETUPS}, "
+                f"got {self.buffer_setup!r}"
+            )
+        if not 0.0 <= self.buffer_fraction < 1.0:
+            raise ValueError(
+                f"buffer_fraction must be in [0, 1), got {self.buffer_fraction}"
+            )
+
+    def partition_memory(self, memory_capacity: int) -> Tuple[int, int, int]:
+        """Split total memory into (heap, input buffer, victim buffer) records.
+
+        The total always equals ``memory_capacity`` — the paper stresses
+        that buffer memory is taken *from* the sorting memory, not added
+        to it.
+        """
+        buffer_records = int(round(memory_capacity * self.buffer_fraction))
+        buffer_records = min(buffer_records, memory_capacity - 1)
+        if self.buffer_setup == "both":
+            input_records = buffer_records // 2
+            victim_records = buffer_records - input_records
+        elif self.buffer_setup == "input":
+            input_records = buffer_records
+            victim_records = 0
+        else:  # "victim"
+            input_records = 0
+            victim_records = buffer_records
+        heap_records = memory_capacity - input_records - victim_records
+        return heap_records, input_records, victim_records
+
+
+#: Section 5.3: both buffers, 2 % of memory, Mean input, Random output.
+RECOMMENDED = TwoWayConfig(
+    buffer_setup="both",
+    buffer_fraction=0.02,
+    input_heuristic="mean",
+    output_heuristic="random",
+)
+
+#: The three 2WRS parameterisations of Table 5.13 (all Mean + Random).
+TABLE_5_13_CONFIGS: Dict[str, TwoWayConfig] = {
+    "cfg1": TwoWayConfig(buffer_setup="input", buffer_fraction=0.0002),
+    "cfg2": TwoWayConfig(buffer_setup="both", buffer_fraction=0.20),
+    "cfg3": TwoWayConfig(buffer_setup="both", buffer_fraction=0.02),
+}

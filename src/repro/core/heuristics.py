@@ -1,0 +1,291 @@
+"""Input and output heuristics of 2WRS (Section 4.2).
+
+When a record could be routed to either heap, an *input heuristic*
+decides which heap stores it; when both heaps can release a record of
+the current run, an *output heuristic* decides which heap pops.  The
+paper studies six input and five output heuristics (30 combinations,
+analysed in Chapter 5); all are implemented here and registered by the
+paper's names.
+
+Heuristics see the algorithm through the small :class:`HeuristicContext`
+facade so they stay decoupled from the 2WRS internals.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Optional, Type
+
+
+class Side(Enum):
+    """Which of the two heaps a decision targets."""
+
+    TOP = "top"
+    BOTTOM = "bottom"
+
+    @property
+    def other(self) -> "Side":
+        return Side.BOTTOM if self is Side.TOP else Side.TOP
+
+
+@dataclass
+class HeuristicContext:
+    """What a heuristic may observe about the running algorithm.
+
+    Attributes
+    ----------
+    rng:
+        Seeded random generator shared by all stochastic heuristics.
+    top_size / bottom_size:
+        Current record counts of the two heaps.
+    top_outputs / bottom_outputs:
+        Records released by each heap during the current run.
+    top_head / bottom_head:
+        Keys at the top of each heap (None when empty).
+    input_mean / input_median:
+        Statistics over the input buffer sample (None when unavailable).
+    first_output:
+        First record released in the current run (None before it).
+    """
+
+    rng: random.Random
+    top_size: int = 0
+    bottom_size: int = 0
+    top_outputs: int = 0
+    bottom_outputs: int = 0
+    top_head: Optional[Any] = None
+    bottom_head: Optional[Any] = None
+    input_mean: Optional[float] = None
+    input_median: Optional[Any] = None
+    input_sample: Optional[list] = None
+    first_output: Optional[Any] = None
+
+    def usefulness(self, side: Side) -> float:
+        """Records output by a heap divided by its size (Section 4.2)."""
+        if side is Side.TOP:
+            return self.top_outputs / max(1, self.top_size)
+        return self.bottom_outputs / max(1, self.bottom_size)
+
+    def size(self, side: Side) -> int:
+        return self.top_size if side is Side.TOP else self.bottom_size
+
+
+class InputHeuristic(ABC):
+    """Chooses the heap that stores an incoming record."""
+
+    name: str = "input-base"
+
+    @abstractmethod
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        """Return the side that should store ``value``."""
+
+    def on_run_start(self) -> None:
+        """Hook called at every run boundary (stateful heuristics)."""
+
+    @property
+    def wants_rebalance(self) -> bool:
+        """True when heap contents should be equalised at run starts."""
+        return False
+
+
+class OutputHeuristic(ABC):
+    """Chooses the heap that releases the next record."""
+
+    name: str = "output-base"
+
+    @abstractmethod
+    def choose(self, ctx: HeuristicContext) -> Side:
+        """Return the side that should pop (both sides are poppable)."""
+
+    def on_run_start(self) -> None:
+        """Hook called at every run boundary (stateful heuristics)."""
+
+
+# -- input heuristics ------------------------------------------------------------
+
+
+class RandomInput(InputHeuristic):
+    """Level k=0: a fair coin decides the heap."""
+
+    name = "random"
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+
+
+class AlternateInput(InputHeuristic):
+    """Level k=1: strict alternation between the heaps."""
+
+    name = "alternate"
+
+    def __init__(self) -> None:
+        self._last = Side.TOP
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        self._last = self._last.other
+        return self._last
+
+
+class MeanInput(InputHeuristic):
+    """Level k=2: above the input-buffer mean goes to the TopHeap."""
+
+    name = "mean"
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        if ctx.input_mean is None:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if value > ctx.input_mean else Side.BOTTOM
+
+
+class MedianInput(InputHeuristic):
+    """Level k=3: above the input-buffer median goes to the TopHeap."""
+
+    name = "median"
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        if ctx.input_median is None:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if value > ctx.input_median else Side.BOTTOM
+
+
+class UsefulInput(InputHeuristic):
+    """Level k=4: feed the heap that has been releasing more per record."""
+
+    name = "useful"
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        top_u = ctx.usefulness(Side.TOP)
+        bottom_u = ctx.usefulness(Side.BOTTOM)
+        if top_u == bottom_u:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if top_u > bottom_u else Side.BOTTOM
+
+
+class BalancingInput(InputHeuristic):
+    """Level k=5: feed the smaller heap; equalise sizes at run starts."""
+
+    name = "balancing"
+
+    def choose(self, value: Any, ctx: HeuristicContext) -> Side:
+        if ctx.top_size == ctx.bottom_size:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if ctx.top_size < ctx.bottom_size else Side.BOTTOM
+
+    @property
+    def wants_rebalance(self) -> bool:
+        return True
+
+
+# -- output heuristics ---------------------------------------------------------------
+
+
+class RandomOutput(OutputHeuristic):
+    """Level l=0: a fair coin decides the heap (the paper's pick)."""
+
+    name = "random"
+
+    def choose(self, ctx: HeuristicContext) -> Side:
+        return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+
+
+class AlternateOutput(OutputHeuristic):
+    """Level l=1: BottomHeap first, then strict alternation."""
+
+    name = "alternate"
+
+    def __init__(self) -> None:
+        self._last = Side.TOP
+
+    def choose(self, ctx: HeuristicContext) -> Side:
+        self._last = self._last.other
+        return self._last
+
+    def on_run_start(self) -> None:
+        self._last = Side.TOP  # so the first pop of a run is BOTTOM
+
+
+class UsefulOutput(OutputHeuristic):
+    """Level l=2: pop from the more useful heap."""
+
+    name = "useful"
+
+    def choose(self, ctx: HeuristicContext) -> Side:
+        top_u = ctx.usefulness(Side.TOP)
+        bottom_u = ctx.usefulness(Side.BOTTOM)
+        if top_u == bottom_u:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if top_u > bottom_u else Side.BOTTOM
+
+
+class BalancingOutput(OutputHeuristic):
+    """Level l=3: pop from the larger heap, keeping sizes even."""
+
+    name = "balancing"
+
+    def choose(self, ctx: HeuristicContext) -> Side:
+        if ctx.top_size == ctx.bottom_size:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if ctx.top_size > ctx.bottom_size else Side.BOTTOM
+
+
+class MinDistanceOutput(OutputHeuristic):
+    """Level l=4: pop the head closer (absolute value) to the run's first output."""
+
+    name = "min_distance"
+
+    def choose(self, ctx: HeuristicContext) -> Side:
+        if ctx.first_output is None or ctx.top_head is None or ctx.bottom_head is None:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        top_distance = abs(ctx.top_head - ctx.first_output)
+        bottom_distance = abs(ctx.bottom_head - ctx.first_output)
+        if top_distance == bottom_distance:
+            return Side.TOP if ctx.rng.random() < 0.5 else Side.BOTTOM
+        return Side.TOP if top_distance < bottom_distance else Side.BOTTOM
+
+
+#: Paper name -> class, input heuristics (factor k levels 0..5).
+INPUT_HEURISTICS: Dict[str, Type[InputHeuristic]] = {
+    cls.name: cls
+    for cls in (
+        RandomInput,
+        AlternateInput,
+        MeanInput,
+        MedianInput,
+        UsefulInput,
+        BalancingInput,
+    )
+}
+
+#: Paper name -> class, output heuristics (factor l levels 0..4).
+OUTPUT_HEURISTICS: Dict[str, Type[OutputHeuristic]] = {
+    cls.name: cls
+    for cls in (
+        RandomOutput,
+        AlternateOutput,
+        UsefulOutput,
+        BalancingOutput,
+        MinDistanceOutput,
+    )
+}
+
+
+def make_input_heuristic(name: str) -> InputHeuristic:
+    """Instantiate an input heuristic by its paper name."""
+    return _make(INPUT_HEURISTICS, name, "input")
+
+
+def make_output_heuristic(name: str) -> OutputHeuristic:
+    """Instantiate an output heuristic by its paper name."""
+    return _make(OUTPUT_HEURISTICS, name, "output")
+
+
+def _make(registry: Dict[str, type], name: str, kind: str):
+    try:
+        cls = registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown {kind} heuristic {name!r}; known: {known}") from None
+    return cls()

@@ -1,0 +1,107 @@
+"""The 2WRS input buffer (Section 4.2).
+
+A FIFO queue between the input stream and the heaps.  Records are read
+into the buffer in input order; the algorithm always consumes the head.
+The buffer's purpose is to *sample* the upcoming input so the Mean and
+Median input heuristics can infer the local distribution.
+
+When the configured capacity is zero (the paper's "victim buffer only"
+setup still crosses all heuristics), the buffer degenerates to a direct
+pass-through but keeps a small shadow window of recently read records so
+Mean/Median remain defined — a documented deviation (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, Iterator, List, Optional
+
+#: Size of the shadow sample kept when the buffer capacity is zero.
+SHADOW_WINDOW = 16
+
+
+class InputBuffer:
+    """FIFO read-ahead buffer with distribution statistics.
+
+    Parameters
+    ----------
+    stream:
+        The record source.
+    capacity:
+        Number of records held; 0 disables buffering (pass-through with
+        a shadow sample window).
+    """
+
+    def __init__(self, stream: Iterable[Any], capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._stream: Iterator[Any] = iter(stream)
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self._shadow: Deque[Any] = deque(maxlen=SHADOW_WINDOW)
+        self._exhausted = False
+        self.records_read = 0
+        self._fill()
+
+    def _pull(self) -> Optional[Any]:
+        """Read one record from the underlying stream."""
+        if self._exhausted:
+            return None
+        try:
+            value = next(self._stream)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self.records_read += 1
+        self._shadow.append(value)
+        return value
+
+    def _fill(self) -> None:
+        while len(self._queue) < self.capacity:
+            value = self._pull()
+            if value is None:
+                break
+            self._queue.append(value)
+
+    def next(self) -> Optional[Any]:
+        """Pop the head record (refilling the tail), or None at EOF."""
+        if self._queue:
+            head = self._queue.popleft()
+            refill = self._pull()
+            if refill is not None:
+                self._queue.append(refill)
+            return head
+        return self._pull()
+
+    def __bool__(self) -> bool:
+        return bool(self._queue) or not self._exhausted
+
+    # -- statistics for the Mean / Median heuristics ---------------------------
+
+    def sample(self) -> List[Any]:
+        """Current buffer contents, or the shadow window when unbuffered."""
+        if self._queue:
+            return list(self._queue)
+        return list(self._shadow)
+
+    def mean(self) -> Optional[float]:
+        """Mean of the sample, or None when unavailable.
+
+        None is also returned for non-numeric keys (the paper assumes
+        numeric sort keys; the Mean heuristic then degrades to a coin
+        flip while order-based heuristics keep working).
+        """
+        values = self.sample()
+        if not values:
+            return None
+        try:
+            return sum(values) / len(values)
+        except TypeError:
+            return None
+
+    def median(self) -> Optional[Any]:
+        """Median of the sample (lower middle), or None when empty."""
+        values = sorted(self.sample())
+        if not values:
+            return None
+        return values[(len(values) - 1) // 2]

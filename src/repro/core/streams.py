@@ -1,0 +1,58 @@
+"""The four output streams of a 2WRS run (Section 4.1, Figure 4.1).
+
+Every run is released as four streams with pairwise non-overlapping
+ranges:
+
+* stream 1 — increasing, from the TopHeap (the largest values),
+* stream 2 — decreasing, victim-buffer records above its gaps,
+* stream 3 — increasing, victim-buffer records below its gaps,
+* stream 4 — decreasing, from the BottomHeap (the smallest values).
+
+Concatenating streams 4, 3, 2, 1 — reading the decreasing ones backwards
+— yields the ascending run.  On disk the decreasing streams use the
+backwards-written format of Appendix A so the merge still reads forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+
+@dataclass
+class RunStreams:
+    """In-memory representation of one 2WRS run before assembly."""
+
+    run_index: int
+    stream1: List[Any] = field(default_factory=list)  # increasing (TopHeap)
+    stream2: List[Any] = field(default_factory=list)  # decreasing (victim, high)
+    stream3: List[Any] = field(default_factory=list)  # increasing (victim, low)
+    stream4: List[Any] = field(default_factory=list)  # decreasing (BottomHeap)
+
+    def __len__(self) -> int:
+        return (
+            len(self.stream1)
+            + len(self.stream2)
+            + len(self.stream3)
+            + len(self.stream4)
+        )
+
+    def assemble(self) -> List[Any]:
+        """Concatenate streams 4‖3‖2‖1 into the ascending run."""
+        out: List[Any] = []
+        out.extend(reversed(self.stream4))
+        out.extend(self.stream3)
+        out.extend(reversed(self.stream2))
+        out.extend(self.stream1)
+        return out
+
+    def check_invariants(self) -> bool:
+        """Verify monotonicity and pairwise range separation (for tests)."""
+        increasing = lambda s: all(a <= b for a, b in zip(s, s[1:]))
+        decreasing = lambda s: all(a >= b for a, b in zip(s, s[1:]))
+        if not (increasing(self.stream1) and increasing(self.stream3)):
+            return False
+        if not (decreasing(self.stream2) and decreasing(self.stream4)):
+            return False
+        run = self.assemble()
+        return all(a <= b for a, b in zip(run, run[1:]))

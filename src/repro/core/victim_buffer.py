@@ -1,0 +1,169 @@
+"""The 2WRS victim buffer (Section 4.3).
+
+The two heaps release an increasing stream (stream 1) and a decreasing
+stream (stream 4); between the last record released on each side lies a
+*gap* of values that can no longer join the current run through either
+heap.  The victim buffer captures records falling in that gap, sorts
+them when full, and flushes them to two more streams: the part below the
+largest internal gap extends stream 3 (increasing), the part above it
+extends stream 2 (decreasing).  The largest internal gap becomes the new
+(narrower) valid range.
+
+At the start of each run the buffer plays a second role: it collects the
+first heap outputs (from both heaps), and its first flush chooses the
+widest gap available instead of just the gap between the two heap tops —
+a wider valid range makes the victim more likely to capture records.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+
+class VictimPhase(Enum):
+    """Lifecycle of the victim buffer within one run."""
+
+    DISABLED = "disabled"
+    INITIAL_FILL = "initial_fill"
+    ACTIVE = "active"
+
+
+def largest_gap(sorted_values: List[Any]) -> Tuple[int, Any, Any]:
+    """Find the widest gap between consecutive sorted values.
+
+    Returns ``(split_index, low, high)`` where values ``[:split_index]``
+    lie at or below the gap and values ``[split_index:]`` at or above it.
+    Requires at least two values.
+    """
+    if len(sorted_values) < 2:
+        raise ValueError("need at least two values to find a gap")
+    best_index = 1
+    best_width = sorted_values[1] - sorted_values[0]
+    for i in range(2, len(sorted_values)):
+        width = sorted_values[i] - sorted_values[i - 1]
+        if width > best_width:
+            best_width = width
+            best_index = i
+    return best_index, sorted_values[best_index - 1], sorted_values[best_index]
+
+
+class VictimBuffer:
+    """Gap-capturing buffer with a valid range and flush bookkeeping.
+
+    The buffer itself does not own the output streams; flushes return
+    ``(to_stream3, to_stream2)`` lists (ascending and descending
+    respectively) for the caller to route.
+
+    Parameters
+    ----------
+    capacity:
+        Records held before a flush; 0 disables the buffer entirely.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._records: List[Any] = []
+        self._range: Optional[Tuple[Any, Any]] = None
+        self.phase = (
+            VictimPhase.DISABLED if capacity == 0 else VictimPhase.INITIAL_FILL
+        )
+        #: analytic comparisons spent sorting flushes
+        self.cpu_ops = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def valid_range(self) -> Optional[Tuple[Any, Any]]:
+        """Current inclusive (low, high) acceptance range, if established."""
+        return self._range
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity > 0 and len(self._records) >= self.capacity
+
+    def start_run(self) -> None:
+        """Reset for a new run (records must have been flushed already)."""
+        if self._records:
+            raise RuntimeError("victim buffer restarted while holding records")
+        self._range = None
+        if self.capacity > 0:
+            self.phase = VictimPhase.INITIAL_FILL
+
+    # -- initial fill (first heap outputs of the run) --------------------------
+
+    def add_initial(self, value: Any) -> None:
+        """Stash one of the run's first heap outputs."""
+        if self.phase is not VictimPhase.INITIAL_FILL:
+            raise RuntimeError(f"add_initial in phase {self.phase}")
+        self._records.append(value)
+
+    def flush_initial(self) -> Tuple[List[Any], List[Any]]:
+        """Establish the valid range from the buffered first outputs.
+
+        Returns ``(to_stream3, to_stream2)``: the records below the
+        widest gap (ascending) and above it (descending).  After this
+        call the buffer is ACTIVE with the gap as its valid range.
+        """
+        if self.phase is not VictimPhase.INITIAL_FILL:
+            raise RuntimeError(f"flush_initial in phase {self.phase}")
+        records = self._sorted_and_cleared()
+        self.phase = VictimPhase.ACTIVE
+        if len(records) < 2:
+            # Degenerate: no gap to exploit; accept nothing until run end.
+            self._range = None
+            return records, []
+        split, low, high = largest_gap(records)
+        self._range = (low, high)
+        return records[:split], list(reversed(records[split:]))
+
+    # -- active phase -------------------------------------------------------------
+
+    def fits(self, value: Any) -> bool:
+        """True when ``value`` may be stored in the victim buffer now."""
+        if self.phase is not VictimPhase.ACTIVE or self._range is None:
+            return False
+        if self.is_full:
+            return False
+        low, high = self._range
+        return low <= value <= high
+
+    def add(self, value: Any) -> None:
+        """Store a record previously accepted by :meth:`fits`."""
+        if self.phase is not VictimPhase.ACTIVE:
+            raise RuntimeError(f"add in phase {self.phase}")
+        self._records.append(value)
+
+    def flush_full(self) -> Tuple[List[Any], List[Any]]:
+        """Flush a full buffer, narrowing the valid range to its widest gap."""
+        records = self._sorted_and_cleared()
+        if len(records) < 2:
+            self._range = None
+            return records, []
+        split, low, high = largest_gap(records)
+        self._range = (low, high)
+        return records[:split], list(reversed(records[split:]))
+
+    def flush_run_end(self) -> List[Any]:
+        """Flush everything ascending at a run boundary.
+
+        All held records lie inside the previous valid range, so they
+        slot between streams 3 and 2 of the finishing run.
+        """
+        records = self._sorted_and_cleared()
+        self._range = None
+        if self.capacity > 0:
+            self.phase = VictimPhase.INITIAL_FILL
+        return records
+
+    def _sorted_and_cleared(self) -> List[Any]:
+        records = self._records
+        self._records = []
+        if len(records) > 1:
+            self.cpu_ops += int(len(records) * max(1.0, math.log2(len(records))))
+            records.sort()
+        return records

@@ -1,0 +1,32 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Run any module directly, e.g.::
+
+    python -m repro.experiments.table_5_13_run_lengths
+    python -m repro.experiments.fig_6_1_fan_in
+
+Submodules are intentionally not imported eagerly (each pulls in its
+experiment dependencies); import the one you need.  The per-experiment
+index lives in DESIGN.md; measured-vs-paper notes in EXPERIMENTS.md.
+"""
+
+#: Module name per experiment, in paper order.
+EXPERIMENTS = (
+    "table_2_1_polyphase",
+    "fig_3_8_model",
+    "fig_5_2_runs_by_dataset",
+    "table_5_2_anova_random",
+    "fig_5_4_buffer_size",
+    "table_5_6_anova_mixed",
+    "table_5_11_anova_imbalanced",
+    "table_5_13_run_lengths",
+    "fig_6_1_fan_in",
+    "fig_6_2_random_memory",
+    "fig_6_3_random_scale",
+    "fig_6_4_mixed_memory",
+    "fig_6_5_mixed_scale",
+    "fig_6_6_alternating",
+    "fig_6_7_reverse",
+)
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,94 @@
+"""Tables 5.10-5.12 and Figures 5.11-5.12 — mixed imbalanced ANOVA.
+
+Paper pipeline (Section 5.2.6): the buffer setup i matters here — the
+model keeps i, j, k, l plus the interactions of i with the heuristics
+and the second-order i*k*l term, re-estimated with WLS.  The best
+configurations use *both* buffers with the Mean or Median input
+heuristic and the Random or Alternate output heuristic, reaching the
+minimum of 2 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.stats.anova import AnovaResult, anova, wls_weights_by_factor
+from repro.stats.factorial import FactorialSettings, run_factorial
+from repro.stats.tukey import TukeyResult, tukey_hsd
+
+REDUCED = FactorialSettings(
+    memory_capacity=500,
+    input_records=12_000,
+    seeds=(11, 22, 33),
+    buffer_setups=("input", "both", "victim"),
+    buffer_sizes=(0.002, 0.02, 0.20),
+    input_heuristics=("random", "mean", "median", "useful"),
+    output_heuristics=("random", "alternate", "min_distance"),
+)
+
+_MODEL_TERMS: Tuple[Tuple[str, ...], ...] = (
+    ("i",),
+    ("j",),
+    ("k",),
+    ("l",),
+    ("i", "k"),
+    ("i", "l"),
+    ("k", "l"),
+    ("i", "k", "l"),
+)
+
+
+@dataclass(slots=True)
+class ImbalancedAnova:
+    """Results of the Section 5.2.6 analysis."""
+
+    mls_model: AnovaResult
+    wls_model: AnovaResult
+    setup_tukey: TukeyResult
+    best_setups: List[str]
+    setup_means: Dict[str, float]
+    setup_heuristic_means: Dict[tuple, float]
+    minimum_runs: float
+
+
+def run(settings: Optional[FactorialSettings] = None) -> ImbalancedAnova:
+    """Fit the mixed-imbalanced models and Tukey comparisons."""
+    settings = settings if settings is not None else REDUCED
+    design = run_factorial("mixed_imbalanced", settings)
+    mls = anova(design, _MODEL_TERMS)
+    weights = wls_weights_by_factor(design, "j")
+    wls = anova(design, _MODEL_TERMS, weights=weights)
+    setup_tukey = tukey_hsd(design, wls, ["i"])
+    return ImbalancedAnova(
+        mls_model=mls,
+        wls_model=wls,
+        setup_tukey=setup_tukey,
+        best_setups=setup_tukey.best_levels(),
+        setup_means=design.level_means("i"),
+        setup_heuristic_means=design.group_means(["i", "k"]),
+        minimum_runs=min(design.values),
+    )
+
+
+def main() -> None:
+    result = run()
+    print("Table 5.10 — MLS model (i, j, k, l + i*k, i*l, k*l, i*k*l)")
+    print(result.mls_model.format_table())
+    print()
+    print("Table 5.11 — same model with WLS weights 1/var(j level)")
+    print(result.wls_model.format_table())
+    print()
+    print("Figure 5.11 — mean runs per buffer setup")
+    for setup, mean in sorted(result.setup_means.items()):
+        print(f"  {setup:<8} -> {mean:8.1f}")
+    print(f"best buffer setups (Tukey): {result.best_setups} (paper: both)")
+    print()
+    print("Figure 5.12 — mean runs per (setup, input heuristic)")
+    for (i, k), mean in sorted(result.setup_heuristic_means.items()):
+        print(f"  {i:<8} x {k:<10} -> {mean:8.1f}")
+    print(f"minimum runs observed: {result.minimum_runs:.0f} (paper: 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,234 @@
+"""Array-backed binary heaps (Section 3.1 of the paper).
+
+The paper implements heaps explicitly as complete binary trees stored in
+a one-dimensional array: node ``i`` has parent ``(i - 1) // 2`` and
+children ``2 i + 1`` and ``2 i + 2``.  We reproduce that implementation
+instead of using :mod:`heapq` because the core 2WRS data structure (the
+:class:`~repro.heaps.double_heap.DoubleHeap`) stores *two* heaps in one
+fixed array, which requires direct control of the index arithmetic.
+
+Two concrete classes are provided, :class:`MinHeap` and :class:`MaxHeap`,
+both deriving from :class:`BinaryHeap` which is parameterised by a
+``before(a, b)`` ordering predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class HeapEmptyError(IndexError):
+    """Raised when ``peek`` or ``pop`` is called on an empty heap."""
+
+
+class HeapFullError(OverflowError):
+    """Raised when pushing into a bounded heap that is at capacity."""
+
+
+def parent_index(i: int) -> int:
+    """Return the array index of the parent of node ``i`` (root has none)."""
+    if i <= 0:
+        raise ValueError(f"node {i} has no parent")
+    return (i - 1) // 2
+
+
+def left_child_index(i: int) -> int:
+    """Return the array index of the left child of node ``i``."""
+    return 2 * i + 1
+
+
+def right_child_index(i: int) -> int:
+    """Return the array index of the right child of node ``i``."""
+    return 2 * i + 2
+
+
+class BinaryHeap(Generic[T]):
+    """A binary heap ordered by a ``before`` predicate.
+
+    ``before(a, b)`` must return True when ``a`` has to be popped before
+    ``b``; for a min heap this is ``a < b``.  The predicate must induce a
+    strict weak ordering.
+
+    Parameters
+    ----------
+    before:
+        The ordering predicate.
+    items:
+        Optional initial items; heapified in O(n).
+    capacity:
+        Optional bound; pushing beyond it raises :class:`HeapFullError`.
+    """
+
+    def __init__(
+        self,
+        before: Callable[[T, T], bool],
+        items: Optional[Iterable[T]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._before = before
+        self._capacity = capacity
+        self._items: List[T] = list(items) if items is not None else []
+        if capacity is not None and len(self._items) > capacity:
+            raise HeapFullError(
+                f"{len(self._items)} initial items exceed capacity {capacity}"
+            )
+        self._heapify()
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate over the backing array (heap order, not sorted order)."""
+        return iter(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self._items!r})"
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum number of items, or None when unbounded."""
+        return self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        """True when a bounded heap has reached its capacity."""
+        return self._capacity is not None and len(self._items) >= self._capacity
+
+    # -- core operations (Section 3.1.1) --------------------------------------
+
+    def peek(self) -> T:
+        """Return the top record without removing it."""
+        if not self._items:
+            raise HeapEmptyError("peek from an empty heap")
+        return self._items[0]
+
+    def push(self, item: T) -> None:
+        """Add a record, restoring the heap property with *upheap*."""
+        if self.is_full:
+            raise HeapFullError(f"heap is at capacity {self._capacity}")
+        self._items.append(item)
+        self._sift_up(len(self._items) - 1)
+
+    def pop(self) -> T:
+        """Remove and return the top record with *downheap*."""
+        if not self._items:
+            raise HeapEmptyError("pop from an empty heap")
+        top = self._items[0]
+        last = self._items.pop()
+        if self._items:
+            self._items[0] = last
+            self._sift_down(0)
+        return top
+
+    def replace(self, item: T) -> T:
+        """Pop the top record and push ``item`` in a single sift.
+
+        This is the inner step of replacement selection: one output, one
+        input, one traversal of the tree.
+        """
+        if not self._items:
+            raise HeapEmptyError("replace on an empty heap")
+        top = self._items[0]
+        self._items[0] = item
+        self._sift_down(0)
+        return top
+
+    def pushpop(self, item: T) -> T:
+        """Push then pop, short-circuiting when ``item`` would win anyway."""
+        if not self._items or self._before(item, self._items[0]):
+            return item
+        top = self._items[0]
+        self._items[0] = item
+        self._sift_down(0)
+        return top
+
+    def clear(self) -> None:
+        """Remove all items."""
+        self._items.clear()
+
+    def drain_sorted(self) -> Iterator[T]:
+        """Yield all items in pop order, emptying the heap."""
+        while self._items:
+            yield self.pop()
+
+    def as_list(self) -> List[T]:
+        """Return a copy of the backing array (level order)."""
+        return list(self._items)
+
+    def check_invariant(self) -> bool:
+        """Return True iff the heap property holds everywhere (for tests)."""
+        n = len(self._items)
+        for i in range(1, n):
+            p = parent_index(i)
+            if self._before(self._items[i], self._items[p]):
+                return False
+        return True
+
+    # -- internals -------------------------------------------------------------
+
+    def _heapify(self) -> None:
+        n = len(self._items)
+        for i in range(n // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _sift_up(self, i: int) -> None:
+        items = self._items
+        item = items[i]
+        while i > 0:
+            p = parent_index(i)
+            if self._before(item, items[p]):
+                items[i] = items[p]
+                i = p
+            else:
+                break
+        items[i] = item
+
+    def _sift_down(self, i: int) -> None:
+        items = self._items
+        n = len(items)
+        item = items[i]
+        while True:
+            child = left_child_index(i)
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and self._before(items[right], items[child]):
+                child = right
+            if self._before(items[child], item):
+                items[i] = items[child]
+                i = child
+            else:
+                break
+        items[i] = item
+
+
+class MinHeap(BinaryHeap[T]):
+    """Binary heap that pops the smallest record first."""
+
+    def __init__(
+        self, items: Optional[Iterable[T]] = None, capacity: Optional[int] = None
+    ) -> None:
+        super().__init__(lambda a, b: a < b, items=items, capacity=capacity)
+
+
+class MaxHeap(BinaryHeap[T]):
+    """Binary heap that pops the largest record first."""
+
+    def __init__(
+        self, items: Optional[Iterable[T]] = None, capacity: Optional[int] = None
+    ) -> None:
+        super().__init__(lambda a, b: a > b, items=items, capacity=capacity)

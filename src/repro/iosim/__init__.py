@@ -1,0 +1,28 @@
+"""Simulated storage stack: disk cost model, files, reverse-file format.
+
+This package substitutes the paper's physical SATA testbed (see
+DESIGN.md section 3): all I/O is charged to an analytic clock so the
+merge/fan-in and timing experiments reproduce the paper's *shape*
+without measuring Python interpreter overhead.
+"""
+
+from repro.iosim.disk import DiskGeometry, DiskModel, DiskStats
+from repro.iosim.files import SimulatedFile, SimulatedFileSystem
+from repro.iosim.reverse_file import (
+    DEFAULT_PAGES_PER_FILE,
+    ReverseFileHeader,
+    ReverseRunReader,
+    ReverseRunWriter,
+)
+
+__all__ = [
+    "DEFAULT_PAGES_PER_FILE",
+    "DiskGeometry",
+    "DiskModel",
+    "DiskStats",
+    "ReverseFileHeader",
+    "ReverseRunReader",
+    "ReverseRunWriter",
+    "SimulatedFile",
+    "SimulatedFileSystem",
+]

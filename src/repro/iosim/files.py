@@ -1,0 +1,199 @@
+"""Simulated files and filesystem over the :class:`DiskModel`.
+
+Files hold Python records in page-sized chunks.  Every page-granular read
+or write is charged to the shared disk model; record contents live in
+ordinary lists (we simulate the *cost* of I/O, not the bytes).
+
+The filesystem hands every file a disjoint, contiguous address range, so
+sequential access within one file is cheap while interleaving reads
+across files pays seeks — the regime the merge fan-in experiment
+(Figure 6.1) explores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.iosim.disk import DiskModel
+
+#: Address gap between consecutive files, so growing one file never
+#: collides with the next one's range.
+_FILE_STRIDE = 1 << 24
+
+
+class SimulatedFile:
+    """An append-only sequence of records stored in simulated pages.
+
+    Use :meth:`append` / :meth:`extend` to write (buffered one page at a
+    time), :meth:`close` to flush, and :meth:`records` or :meth:`read_all`
+    to read the records back with read costs charged.
+    """
+
+    def __init__(
+        self,
+        fs: "SimulatedFileSystem",
+        name: str,
+        base_address: int,
+        write_buffer_pages: int = 1,
+    ) -> None:
+        if write_buffer_pages < 1:
+            raise ValueError(
+                f"write_buffer_pages must be >= 1, got {write_buffer_pages}"
+            )
+        self._fs = fs
+        self.name = name
+        self._base = base_address
+        self._pages: List[List[Any]] = []
+        self._write_buffer: List[Any] = []
+        self._write_buffer_pages = write_buffer_pages
+        self._closed = False
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: Any) -> None:
+        """Append one record, flushing when the write buffer fills.
+
+        The write buffer holds ``write_buffer_pages`` pages; flushing
+        writes them back to back, so a larger buffer amortises the seek
+        of returning to this file over more sequential page writes (the
+        merge phase relies on this, Section 6.1.1).
+        """
+        if self._closed:
+            raise ValueError(f"file {self.name!r} is closed for writing")
+        self._write_buffer.append(record)
+        page_records = self._fs.disk.geometry.page_records
+        if len(self._write_buffer) >= self._write_buffer_pages * page_records:
+            self._flush_buffer()
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        """Flush any partial buffer and freeze the file."""
+        if self._write_buffer:
+            self._flush_buffer()
+        self._closed = True
+
+    def _flush_buffer(self) -> None:
+        page_records = self._fs.disk.geometry.page_records
+        buffered = self._write_buffer
+        self._write_buffer = []
+        for start in range(0, len(buffered), page_records):
+            address = self._base + len(self._pages)
+            self._fs.disk.write_page(address)
+            self._pages.append(buffered[start : start + page_records])
+
+    # -- reading ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._pages) + len(self._write_buffer)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def records(self) -> Iterator[Any]:
+        """Yield all records front to back, charging one read per page."""
+        self._require_closed()
+        for page_index, page in enumerate(self._pages):
+            self._fs.disk.read_page(self._base + page_index)
+            yield from page
+
+    def records_buffered(self, buffer_pages: int) -> Iterator[Any]:
+        """Yield all records, refilling ``buffer_pages`` pages at a time.
+
+        Each refill reads that many contiguous pages back to back: the
+        first page may pay a seek (if another file was touched in the
+        meantime) and the rest are sequential.  This is the per-run input
+        buffer of the merge phase; larger buffers amortise seeks across
+        more transfers (Section 6.1.1).
+        """
+        if buffer_pages < 1:
+            raise ValueError(f"buffer_pages must be >= 1, got {buffer_pages}")
+        self._require_closed()
+        for start in range(0, len(self._pages), buffer_pages):
+            stop = min(start + buffer_pages, len(self._pages))
+            chunk: List[Any] = []
+            for page_index in range(start, stop):
+                self._fs.disk.read_page(self._base + page_index)
+                chunk.extend(self._pages[page_index])
+            yield from chunk
+
+    def read_all(self) -> List[Any]:
+        """Read the whole file into a list (charges all page reads)."""
+        return list(self.records())
+
+    def read_page(self, page_index: int) -> List[Any]:
+        """Read one page by index, charging its access."""
+        self._require_closed()
+        if not 0 <= page_index < len(self._pages):
+            raise IndexError(
+                f"page {page_index} out of range for {self.name!r} "
+                f"({len(self._pages)} pages)"
+            )
+        self._fs.disk.read_page(self._base + page_index)
+        return list(self._pages[page_index])
+
+    def _require_closed(self) -> None:
+        if not self._closed:
+            raise ValueError(f"file {self.name!r} must be closed before reading")
+
+
+class SimulatedFileSystem:
+    """Allocates :class:`SimulatedFile` objects over one disk model."""
+
+    def __init__(self, disk: Optional[DiskModel] = None) -> None:
+        self.disk = disk if disk is not None else DiskModel()
+        self._next_base = 0
+        self._files: dict[str, SimulatedFile] = {}
+
+    def create(self, name: str, write_buffer_pages: int = 1) -> SimulatedFile:
+        """Create a new empty file with a fresh address range."""
+        if name in self._files:
+            raise FileExistsError(f"simulated file {name!r} already exists")
+        handle = SimulatedFile(
+            self, name, self.allocate_base(), write_buffer_pages=write_buffer_pages
+        )
+        self._files[name] = handle
+        return handle
+
+    def allocate_base(self) -> int:
+        """Reserve a fresh disjoint address range and return its base.
+
+        Used by structures that manage their own page layout, such as the
+        backwards-written files of Appendix A.
+        """
+        base = self._next_base
+        self._next_base += _FILE_STRIDE
+        return base
+
+    def create_from(self, name: str, records: Iterable[Any]) -> SimulatedFile:
+        """Create, fill, and close a file in one call."""
+        handle = self.create(name)
+        handle.extend(records)
+        handle.close()
+        return handle
+
+    def open(self, name: str) -> SimulatedFile:
+        """Look up an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no simulated file {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        """Remove a file (no I/O charged; deletion is metadata only)."""
+        if name not in self._files:
+            raise FileNotFoundError(f"no simulated file {name!r}")
+        del self._files[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def names(self) -> List[str]:
+        return list(self._files)

@@ -1,0 +1,208 @@
+"""Backwards-written files for decreasing streams (Appendix A.2).
+
+2WRS emits two *decreasing* streams per run (streams 2 and 4).  The merge
+phase must read every run file forward (sequential reads are an order of
+magnitude cheaper, Appendix A.1), so decreasing streams are written to
+disk *backwards*: a chain of fixed-size files of ``k`` pages each, where
+records fill each file from the last page toward the first, and files
+are chained so that reading them in reverse creation order, pages
+forward, yields the records in ascending order.
+
+Each file reserves page 0 as a header carrying:
+
+* ``file_index``     — position of this file in the chain,
+* ``num_pages``      — the fixed file size ``k`` (including the header),
+* ``start_page`` / ``start_offset`` — where the data begins (only the
+  last file of a chain can start mid-file).
+
+A one-page write buffer (memory taken from the sorting algorithm, as the
+paper notes) batches record writes so each page is written exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.iosim.files import SimulatedFileSystem
+
+#: Paper default: 1000 pages per file (~40 MB files in the original setup).
+DEFAULT_PAGES_PER_FILE = 1000
+
+
+@dataclass(frozen=True, slots=True)
+class ReverseFileHeader:
+    """Header stored in page 0 of each backwards-written file."""
+
+    file_index: int
+    num_pages: int
+    start_page: int
+    start_offset: int
+
+
+class _ReverseFileChunk:
+    """One fixed-size file of the chain; pages indexed 0 .. num_pages-1."""
+
+    def __init__(self, base_address: int, num_pages: int, file_index: int) -> None:
+        self.base_address = base_address
+        self.num_pages = num_pages
+        self.file_index = file_index
+        # Data pages (index 1..num_pages-1); filled back to front.
+        self.pages: List[Optional[List[Any]]] = [None] * num_pages
+        self.header: Optional[ReverseFileHeader] = None
+
+
+class ReverseRunWriter:
+    """Write a decreasing stream so it can be *read* in ascending order.
+
+    Records must be appended in decreasing key order (that is how the
+    BottomHeap and the victim's stream 2 release them); they land on disk
+    such that a forward read of the chain is ascending.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFileSystem,
+        name: str,
+        pages_per_file: int = DEFAULT_PAGES_PER_FILE,
+    ) -> None:
+        if pages_per_file < 2:
+            raise ValueError(
+                f"pages_per_file must be >= 2 (1 header + 1 data), got {pages_per_file}"
+            )
+        self._fs = fs
+        self.name = name
+        self._pages_per_file = pages_per_file
+        self._page_records = fs.disk.geometry.page_records
+        self._chunks: List[_ReverseFileChunk] = []
+        self._current: Optional[_ReverseFileChunk] = None
+        self._next_page: int = 0  # page index to write next (counts down)
+        self._buffer: List[Any] = []  # one-page write buffer
+        self._count = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_files(self) -> int:
+        return len(self._chunks)
+
+    def append(self, record: Any) -> None:
+        """Append the next (smaller) record of the decreasing stream."""
+        if self._closed:
+            raise ValueError(f"reverse file {self.name!r} is closed")
+        self._buffer.append(record)
+        self._count += 1
+        if len(self._buffer) >= self._page_records:
+            self._flush_page(full=True)
+
+    def close(self) -> None:
+        """Flush pending records and write all headers."""
+        if self._closed:
+            return
+        if self._buffer:
+            self._flush_page(full=False)
+        for chunk in self._chunks:
+            start_page, start_offset = self._start_of(chunk)
+            chunk.header = ReverseFileHeader(
+                file_index=chunk.file_index,
+                num_pages=chunk.num_pages,
+                start_page=start_page,
+                start_offset=start_offset,
+            )
+            # Header lives in page 0 of the chunk.
+            self._fs.disk.write_page(chunk.base_address)
+        self._closed = True
+
+    def _start_of(self, chunk: _ReverseFileChunk) -> tuple[int, int]:
+        """First data page and in-page offset for a chunk."""
+        for page_index in range(1, chunk.num_pages):
+            page = chunk.pages[page_index]
+            if page is not None:
+                offset = self._page_records - len(page)
+                return page_index, offset
+        return chunk.num_pages, 0  # fully empty chunk (never happens in practice)
+
+    def _flush_page(self, *, full: bool) -> None:
+        if self._current is None or self._next_page < 1:
+            self._open_chunk()
+        assert self._current is not None
+        page_index = self._next_page
+        # Records arrived in decreasing order; stored ascending within
+        # the page so a forward page read is ascending.
+        self._current.pages[page_index] = list(reversed(self._buffer))
+        self._fs.disk.write_page(self._current.base_address + page_index)
+        self._buffer = []
+        self._next_page -= 1
+
+    def _open_chunk(self) -> None:
+        chunk = _ReverseFileChunk(
+            base_address=self._fs.allocate_base(),
+            num_pages=self._pages_per_file,
+            file_index=len(self._chunks),
+        )
+        self._chunks.append(chunk)
+        self._current = chunk
+        self._next_page = self._pages_per_file - 1
+
+
+class ReverseRunReader:
+    """Read a closed :class:`ReverseRunWriter` chain in ascending order."""
+
+    def __init__(self, writer: ReverseRunWriter) -> None:
+        if not writer._closed:
+            raise ValueError(f"reverse file {writer.name!r} must be closed first")
+        self._fs = writer._fs
+        self._chunks = writer._chunks
+        self.name = writer.name
+
+    def records(self) -> Iterator[Any]:
+        """Yield records smallest-first with sequential page reads.
+
+        Files are visited newest-first (the last chunk holds the smallest
+        records) and pages forward within each file, so the disk sees a
+        forward scan per file.
+        """
+        for chunk in reversed(self._chunks):
+            # Read the header first (page 0), as a real reader would.
+            self._fs.disk.read_page(chunk.base_address)
+            header = chunk.header
+            assert header is not None
+            for page_index in range(header.start_page, chunk.num_pages):
+                page = chunk.pages[page_index]
+                if page is None:
+                    continue
+                self._fs.disk.read_page(chunk.base_address + page_index)
+                yield from page
+
+    def records_buffered(self, buffer_pages: int) -> Iterator[Any]:
+        """Yield records ascending, refilling several pages at a time.
+
+        Within each chunk file the data pages are contiguous, so a refill
+        of ``buffer_pages`` pages pays at most one seek; this matches the
+        buffered interface of :class:`~repro.iosim.files.SimulatedFile`
+        that the merge tree consumes.
+        """
+        if buffer_pages < 1:
+            raise ValueError(f"buffer_pages must be >= 1, got {buffer_pages}")
+        for chunk in reversed(self._chunks):
+            self._fs.disk.read_page(chunk.base_address)
+            header = chunk.header
+            assert header is not None
+            page_index = header.start_page
+            while page_index < chunk.num_pages:
+                stop = min(page_index + buffer_pages, chunk.num_pages)
+                buffered: List[Any] = []
+                for i in range(page_index, stop):
+                    page = chunk.pages[i]
+                    if page is None:
+                        continue
+                    self._fs.disk.read_page(chunk.base_address + i)
+                    buffered.extend(page)
+                page_index = stop
+                yield from buffered
+
+    def read_all(self) -> List[Any]:
+        """Materialise the whole stream ascending."""
+        return list(self.records())

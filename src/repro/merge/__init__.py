@@ -1,0 +1,31 @@
+"""Merge-phase algorithms (Section 2.1.2 and 6.1.1)."""
+
+from repro.merge.kway import MergeCounter, kway_merge, merge_runs
+from repro.merge.merge_tree import DEFAULT_FAN_IN, MergeTree, merge_files
+from repro.merge.reading import (
+    STRATEGIES,
+    ReadingReport,
+    ReadingSimulator,
+)
+from repro.merge.polyphase import (
+    PolyphaseMerger,
+    PolyphaseStep,
+    polyphase_merge,
+    polyphase_schedule,
+)
+
+__all__ = [
+    "DEFAULT_FAN_IN",
+    "MergeCounter",
+    "MergeTree",
+    "PolyphaseMerger",
+    "PolyphaseStep",
+    "ReadingReport",
+    "ReadingSimulator",
+    "STRATEGIES",
+    "kway_merge",
+    "merge_files",
+    "merge_runs",
+    "polyphase_merge",
+    "polyphase_schedule",
+]

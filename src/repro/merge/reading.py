@@ -1,0 +1,254 @@
+"""Merge-phase reading strategies (Section 3.7.2).
+
+The naive merge keeps one input buffer per run and stalls whenever a
+buffer empties.  Three classic improvements overlap reading with
+processing:
+
+* **forecasting** (Knuth): one extra buffer; by comparing the *last*
+  key of every in-memory block the merge knows which buffer empties
+  first, and prefetches that run's next block while merging;
+* **double buffering** (Salzberg): two half-sized buffers per run; one
+  is consumed while the other refills — refills hide, but halving the
+  buffer doubles the number of (seek-paying) refills;
+* **planning** (Zheng & Larson): like forecasting, but with all spare
+  memory as extra buffers and a read *schedule* that batches blocks
+  that are contiguous on disk, trading buffer space for fewer seeks.
+
+This module contains a discrete-event simulator of the merge's I/O
+timeline over the :class:`~repro.iosim.disk.DiskGeometry` cost model:
+the CPU consumes records at a constant rate while the disk serves one
+block request at a time; a block requested before it is needed hides
+(part of) its latency.  The simulator reproduces the papers' findings:
+planning < forecasting ~ double buffering < naive in total time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.iosim.disk import DiskGeometry
+
+#: Simulated seconds of CPU per merged record.
+DEFAULT_CPU_PER_RECORD = 3e-5
+
+STRATEGIES = ("naive", "forecasting", "double_buffering", "planning")
+
+
+@dataclass(slots=True)
+class ReadingReport:
+    """Outcome of one simulated merge."""
+
+    strategy: str
+    total_time: float
+    io_time: float
+    stall_time: float
+    block_reads: int
+    seeks: int
+
+
+class _RunCursor:
+    """Per-run view: blocks of records plus the read position."""
+
+    def __init__(self, run: Sequence[Any], block_records: int) -> None:
+        self.blocks: List[List[Any]] = [
+            list(run[i : i + block_records])
+            for i in range(0, len(run), block_records)
+        ]
+        self.next_block = 0  # next block index to *request* from disk
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_block >= len(self.blocks)
+
+
+class ReadingSimulator:
+    """Simulate one k-way merge under a reading strategy.
+
+    Parameters
+    ----------
+    runs:
+        The sorted runs to merge.
+    memory_records:
+        Total records of merge memory, divided among the buffers the
+        strategy wants.
+    geometry:
+        Disk cost model; a block read costs one seek + rotation plus a
+        sequential transfer per page, except when it directly follows
+        the previous block of the same run on disk.
+    cpu_per_record:
+        CPU seconds consumed per merged record.
+    """
+
+    def __init__(
+        self,
+        runs: Sequence[Sequence[Any]],
+        memory_records: int = 8_192,
+        geometry: Optional[DiskGeometry] = None,
+        cpu_per_record: float = DEFAULT_CPU_PER_RECORD,
+    ) -> None:
+        if not runs:
+            raise ValueError("need at least one run to merge")
+        self.runs = [list(r) for r in runs]
+        self.memory_records = memory_records
+        self.geometry = geometry if geometry is not None else DiskGeometry()
+        self.cpu_per_record = cpu_per_record
+
+    # -- public API ----------------------------------------------------------
+
+    def simulate(self, strategy: str) -> ReadingReport:
+        """Run the merge under ``strategy`` and report its timeline."""
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; known: {STRATEGIES}"
+            )
+        k = len(self.runs)
+        if strategy == "naive":
+            buffers_per_run, extra = 1, 0
+        elif strategy == "forecasting":
+            buffers_per_run, extra = 1, 1
+        elif strategy == "double_buffering":
+            buffers_per_run, extra = 2, 0
+        else:  # planning
+            # All memory beyond one buffer per run becomes read-ahead.
+            buffers_per_run, extra = 1, max(1, k)
+        total_buffers = k * buffers_per_run + extra
+        block_records = max(1, self.memory_records // total_buffers)
+        return self._simulate(strategy, block_records, extra)
+
+    def compare(self) -> Dict[str, ReadingReport]:
+        """Simulate all strategies on the same runs."""
+        return {s: self.simulate(s) for s in STRATEGIES}
+
+    # -- internals ----------------------------------------------------------------
+
+    def _block_cost(self, block_len: int, sequential: bool) -> float:
+        pages = max(1, -(-block_len // self.geometry.page_records))
+        transfer = pages * self.geometry.transfer_time
+        if sequential:
+            return transfer
+        return self.geometry.seek_time + self.geometry.rotational_delay + transfer
+
+    def _simulate(
+        self, strategy: str, block_records: int, extra_buffers: int
+    ) -> ReadingReport:
+        cursors = [_RunCursor(run, block_records) for run in self.runs]
+        io_time = 0.0
+        stall_time = 0.0
+        block_reads = 0
+        seeks = 0
+        disk_free = 0.0  # the disk is busy until this time
+        clock = 0.0  # the consumer's clock
+        last_read: Optional[Tuple[int, int]] = None  # (run, block) last read
+
+        # ready_at[(run, block)] = completion time of an issued read.
+        ready_at: Dict[Tuple[int, int], float] = {}
+
+        def issue(run_index: int, at: float, batch: int = 1) -> None:
+            """Issue a read of the next `batch` blocks of one run."""
+            nonlocal io_time, block_reads, seeks, disk_free, last_read
+            cursor = cursors[run_index]
+            for _ in range(batch):
+                if cursor.exhausted:
+                    return
+                block_index = cursor.next_block
+                cursor.next_block += 1
+                sequential = last_read == (run_index, block_index - 1)
+                cost = self._block_cost(
+                    len(cursor.blocks[block_index]), sequential
+                )
+                if not sequential:
+                    seeks += 1
+                start = max(at, disk_free)
+                disk_free = start + cost
+                io_time += cost
+                block_reads += 1
+                ready_at[(run_index, block_index)] = disk_free
+                last_read = (run_index, block_index)
+
+        # Prime one block per run (all strategies), plus the second
+        # block for double buffering.
+        for index in range(len(cursors)):
+            issue(index, at=0.0)
+        if strategy == "double_buffering":
+            for index in range(len(cursors)):
+                issue(index, at=0.0)
+
+        # The merge consumes blocks in a deterministic order given by
+        # the k-way merge over block head/tail keys; we replay it with
+        # a heap over (next key, run) using whole blocks.
+        heads: List[Tuple[Any, int, int, int]] = []  # key, run, block, offset
+        consumed_block: Dict[int, int] = {i: -1 for i in range(len(cursors))}
+
+        def load_block(run_index: int) -> None:
+            """Consumer acquires the next block of a run (may stall)."""
+            nonlocal clock, stall_time
+            block_index = consumed_block[run_index] + 1
+            if block_index >= len(cursors[run_index].blocks):
+                return
+            if (run_index, block_index) not in ready_at:
+                issue(run_index, at=clock)
+            ready = ready_at[(run_index, block_index)]
+            if ready > clock:
+                stall_time += ready - clock
+                clock = ready
+            consumed_block[run_index] = block_index
+            block = cursors[run_index].blocks[block_index]
+            heapq.heappush(heads, (block[0], run_index, block_index, 0))
+
+        for index in range(len(cursors)):
+            load_block(index)
+
+        while heads:
+            key, run_index, block_index, offset = heapq.heappop(heads)
+            block = cursors[run_index].blocks[block_index]
+            clock += self.cpu_per_record
+            offset += 1
+            if offset < len(block):
+                heapq.heappush(
+                    heads, (block[offset], run_index, block_index, offset)
+                )
+                continue
+            # Block exhausted; acquire the next one (the strategy's
+            # earlier read-ahead decides whether this stalls).
+            if strategy == "planning":
+                # Batch-read several upcoming blocks of this run while
+                # the head is positioned on it (contiguous, no seeks).
+                issue(run_index, at=clock, batch=2)
+            load_block(run_index)
+            if strategy == "forecasting":
+                # With the refill in memory, forecast which buffer
+                # empties first — the smallest in-memory tail key — and
+                # fill the extra buffer with that run's next block while
+                # the merge keeps consuming (Knuth's forecast).
+                tails = []
+                for _, r, b, _ in heads:
+                    tails.append((cursors[r].blocks[b][-1], r))
+                if tails:
+                    _, forecast_run = min(tails)
+                    next_needed = consumed_block[forecast_run] + 1
+                    if (
+                        next_needed < len(cursors[forecast_run].blocks)
+                        and (forecast_run, next_needed) not in ready_at
+                    ):
+                        issue(forecast_run, at=clock)
+            if strategy == "double_buffering":
+                # Immediately request the block after the one just
+                # acquired, refilling the now-free twin buffer.
+                follow = consumed_block[run_index] + 1
+                if (
+                    follow < len(cursors[run_index].blocks)
+                    and (run_index, follow) not in ready_at
+                ):
+                    issue(run_index, at=clock)
+
+        total = max(clock, disk_free)
+        return ReadingReport(
+            strategy=strategy,
+            total_time=total,
+            io_time=io_time,
+            stall_time=stall_time,
+            block_reads=block_reads,
+            seeks=seeks,
+        )

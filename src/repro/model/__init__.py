@@ -1,0 +1,21 @@
+"""The snowplow differential model of RS (Section 3.6)."""
+
+from repro.model.snowplow import ModelRun, SnowplowModel, stable_density
+from repro.model.verification import (
+    VerificationReport,
+    stable_m,
+    stable_p,
+    stable_run_length,
+    verify_stable_solution,
+)
+
+__all__ = [
+    "ModelRun",
+    "SnowplowModel",
+    "VerificationReport",
+    "stable_density",
+    "stable_m",
+    "stable_p",
+    "stable_run_length",
+    "verify_stable_solution",
+]

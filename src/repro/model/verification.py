@@ -1,0 +1,138 @@
+"""Closed-form verification of the stable RS model solution (Section 3.6.1).
+
+The paper checks that, for uniform input data (``data(x) = 1``, k1 = 1,
+k2 = 1), the pair
+
+    p(t) = t / 2
+    m(x, t) = 2 - 2 (x - s(t))   for x >= s(t),   where s(t) = t/2 - floor(t/2)
+             -2 (x - s(t))       for x <  s(t)
+
+satisfies all four model equations and yields run length 2.  This
+module evaluates those checks numerically on a grid, so the library's
+implementation of the solution can be validated the way the paper
+validates it by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+def stable_p(t: float) -> float:
+    """The stable output front p(t) = t / 2."""
+    return t / 2.0
+
+
+def _front_position(t: float) -> float:
+    p = stable_p(t)
+    return p - math.floor(p)
+
+
+def stable_m(x: float, t: float) -> float:
+    """The stable density m(x, t) of Section 3.6.1 (uniform input)."""
+    if not 0.0 <= x < 1.0:
+        raise ValueError(f"x must be in [0, 1), got {x}")
+    s = _front_position(t)
+    if x >= s:
+        return 2.0 - 2.0 * x + 2.0 * s
+    return -2.0 * x + 2.0 * s
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Maximum violation of each model equation on the test grid."""
+
+    equation_3_9_speed: float  # |dp/dt - k1 / m(p, t)|
+    equation_3_10_jump: float  # |limits of m across the front - (0, 2)|
+    equation_3_11_inflow: float  # |dm/dt - data(x)|
+    equation_3_12_memory: float  # |integral m dx - 1|
+
+    def max_violation(self) -> float:
+        return max(
+            self.equation_3_9_speed,
+            self.equation_3_10_jump,
+            self.equation_3_11_inflow,
+            self.equation_3_12_memory,
+        )
+
+
+def verify_stable_solution(
+    times: int = 40,
+    cells: int = 400,
+    epsilon: float = 1e-6,
+) -> VerificationReport:
+    """Numerically check Equations 3.9-3.12 for the stable solution.
+
+    Parameters
+    ----------
+    times:
+        Number of time points sampled over two full runs.
+    cells:
+        Spatial grid for the memory integral.
+    epsilon:
+        Step used for the numeric derivatives and one-sided limits.
+    """
+    worst_speed = 0.0
+    worst_jump = 0.0
+    worst_inflow = 0.0
+    worst_memory = 0.0
+
+    for index in range(1, times + 1):
+        t = 4.0 * index / times + 0.01  # avoid exact run boundaries
+
+        # Equation 3.9: dp/dt = k1 / m(p - floor(p), t) with k1 = 1.
+        dp_dt = (stable_p(t + epsilon) - stable_p(t - epsilon)) / (2 * epsilon)
+        density_at_front = stable_m(_front_position(t), t)
+        worst_speed = max(
+            worst_speed, abs(dp_dt - 1.0 / density_at_front)
+        )
+
+        # Equation 3.10: m jumps from 2 (ahead of the front) to 0
+        # (just behind it).
+        front = _front_position(t)
+        ahead = stable_m(min(front + epsilon, 1 - epsilon), t)
+        behind = stable_m(max(front - epsilon, 0.0), t)
+        worst_jump = max(
+            worst_jump, abs(ahead - 2.0), abs(behind - 0.0)
+        )
+
+        # Equation 3.11: dm/dt = (k1/k2) data(x) = 1 away from the front.
+        for x in (0.1, 0.35, 0.6, 0.85):
+            span = 0.01
+            if abs(x - front) < 3 * span:
+                continue  # the derivative is undefined across the jump
+            dm_dt = (stable_m(x, t + span) - stable_m(x, t - span)) / (2 * span)
+            worst_inflow = max(worst_inflow, abs(dm_dt - 1.0))
+
+        # Equation 3.12: the memory is exactly full at all times.
+        dx = 1.0 / cells
+        integral = sum(
+            stable_m((i + 0.5) * dx, t) for i in range(cells)
+        ) * dx
+        worst_memory = max(worst_memory, abs(integral - 1.0))
+
+    return VerificationReport(
+        equation_3_9_speed=worst_speed,
+        equation_3_10_jump=worst_jump,
+        equation_3_11_inflow=worst_inflow,
+        equation_3_12_memory=worst_memory,
+    )
+
+
+def stable_run_length() -> float:
+    """Path integral of m along the front over one run (Section 3.6.1).
+
+    With m(p(t), t) = 2 and p'(t) = 1/2 over a run of duration 2, the
+    integral evaluates to 2: every run releases twice the memory.
+    """
+    steps = 10_000
+    t0, t1 = 0.01, 2.01  # one full run
+    dt = (t1 - t0) / steps
+    total = 0.0
+    for i in range(steps):
+        t = t0 + (i + 0.5) * dt
+        p_prime = (stable_p(t + 1e-6) - stable_p(t - 1e-6)) / 2e-6
+        total += stable_m(_front_position(t), t) * p_prime * dt
+    return total

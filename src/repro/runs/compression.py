@@ -1,0 +1,251 @@
+"""Run-generation with compressed records (Yiannis & Zobel; Section 3.7.5).
+
+Compressing record payloads during run generation lets more records fit
+in memory, which lengthens runs and shrinks the merge; the sort key
+stays uncompressed so ordering never touches the codec.
+
+Two pieces:
+
+* :class:`SubstringCodec` — a dictionary coder in the spirit of the
+  paper's ternary-trie technique: it samples payloads, collects the
+  most valuable common substrings, and replaces them with short
+  byte-pair codes (longest-match greedy encoding, fully reversible).
+* :class:`CompressedReplacementSelection` — replacement selection with
+  a *byte* budget and variable-length records (Larson's variant from
+  Section 3.7.1): after each output, as many new records are inserted
+  as fit; when the next record does not fit, more records are output
+  without reading.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.heaps.run_heap import TaggedRecord, TopRunHeap
+from repro.runs.base import RunGenerator, log_cost
+
+#: Escape byte introducing a two-byte code (must not appear in input).
+_ESCAPE = "\x00"
+
+#: Codeword alphabet size (second byte of a code).
+_MAX_CODES = 255
+
+
+class SubstringCodec:
+    """Dictionary coder over frequent payload substrings.
+
+    Parameters
+    ----------
+    sample:
+        Payload strings to learn the codebook from.
+    max_codes:
+        Codebook size (each code costs 2 bytes in the output).
+    min_length / max_length:
+        Substring lengths considered for the codebook.
+    """
+
+    def __init__(
+        self,
+        sample: Iterable[str],
+        max_codes: int = 64,
+        min_length: int = 3,
+        max_length: int = 12,
+    ) -> None:
+        if not 1 <= max_codes <= _MAX_CODES:
+            raise ValueError(f"max_codes must be in [1, {_MAX_CODES}]")
+        if min_length < 2:
+            raise ValueError(f"min_length must be >= 2, got {min_length}")
+        counts: Counter = Counter()
+        for payload in sample:
+            if _ESCAPE in payload:
+                raise ValueError("payloads must not contain the escape byte")
+            for length in range(min_length, max_length + 1):
+                for start in range(0, len(payload) - length + 1):
+                    counts[payload[start : start + length]] += 1
+        # Value of a substring = occurrences x bytes saved per occurrence.
+        scored = sorted(
+            counts.items(),
+            key=lambda item: (item[1] * (len(item[0]) - 2), len(item[0])),
+            reverse=True,
+        )
+        chosen: List[str] = []
+        for substring, count in scored:
+            if count < 2 or len(substring) <= 2:
+                continue
+            # Skip substrings contained in an already-chosen longer one
+            # with the same effective coverage (cheap redundancy check).
+            if any(substring in longer for longer in chosen):
+                continue
+            chosen.append(substring)
+            if len(chosen) >= max_codes:
+                break
+        # Longest-first so greedy encoding prefers bigger savings.
+        chosen.sort(key=len, reverse=True)
+        self._encode_map: Dict[str, str] = {
+            substring: _ESCAPE + chr(1 + index)
+            for index, substring in enumerate(chosen)
+        }
+        self._decode_map: Dict[str, str] = {
+            code[1]: substring for substring, code in self._encode_map.items()
+        }
+
+    @property
+    def codebook(self) -> List[str]:
+        """The learned substrings, longest first."""
+        return list(self._encode_map)
+
+    def encode(self, payload: str) -> str:
+        """Replace codebook substrings with two-byte codes."""
+        if _ESCAPE in payload:
+            raise ValueError("payloads must not contain the escape byte")
+        out = payload
+        for substring, code in self._encode_map.items():
+            if substring in out:
+                out = out.replace(substring, code)
+        return out
+
+    def decode(self, encoded: str) -> str:
+        """Invert :meth:`encode` exactly."""
+        pieces: List[str] = []
+        i = 0
+        while i < len(encoded):
+            ch = encoded[i]
+            if ch == _ESCAPE:
+                pieces.append(self._decode_map[encoded[i + 1]])
+                i += 2
+            else:
+                pieces.append(ch)
+                i += 1
+        return "".join(pieces)
+
+    def ratio(self, payloads: Iterable[str]) -> float:
+        """Compressed bytes / original bytes over ``payloads``."""
+        original = 0
+        compressed = 0
+        for payload in payloads:
+            original += len(payload)
+            compressed += len(self.encode(payload))
+        if original == 0:
+            return 1.0
+        return compressed / original
+
+
+class CompressedReplacementSelection(RunGenerator):
+    """Byte-budget RS over (key, payload) records with compression.
+
+    Records are ``(key, payload)`` tuples; the key orders the run, the
+    payload travels compressed.  ``memory_capacity`` is interpreted as a
+    *byte* budget: each in-memory record costs ``key_bytes`` plus its
+    encoded payload length.
+
+    Set ``codec=None`` to disable compression (the baseline for the
+    paper's comparison — same machinery, uncompressed payloads).
+    """
+
+    name = "CRS"
+
+    #: Bytes charged for a record's key and bookkeeping.
+    key_bytes = 8
+
+    def __init__(
+        self, memory_capacity: int, codec: Optional[SubstringCodec] = None
+    ) -> None:
+        super().__init__(memory_capacity)
+        self.codec = codec
+
+    def _cost(self, stored_payload: str) -> int:
+        return self.key_bytes + len(stored_payload)
+
+    def _store(self, payload: str) -> str:
+        if self.codec is None:
+            return payload
+        return self.codec.encode(payload)
+
+    def _load(self, stored: str) -> str:
+        if self.codec is None:
+            return stored
+        return self.codec.decode(stored)
+
+    def generate_runs(
+        self, records: Iterable[Tuple[Any, str]]
+    ) -> Iterator[List[Tuple[Any, str]]]:
+        self.stats.reset()
+        stats = self.stats
+        stream = iter(records)
+
+        heap: TopRunHeap = TopRunHeap()
+        used_bytes = 0
+        pending: Optional[TaggedRecord] = None  # read but not yet fitting
+
+        def read_tagged(current_run: int, last_key: Optional[Any]) -> Optional[TaggedRecord]:
+            try:
+                key, payload = next(stream)
+            except StopIteration:
+                return None
+            stats.records_in += 1
+            stored = self._store(payload)
+            run = (
+                current_run + 1
+                if last_key is not None and key < last_key
+                else current_run
+            )
+            return TaggedRecord(run, key, stored)
+
+        # Fill phase: insert records while they fit in the byte budget.
+        while True:
+            record = read_tagged(0, None)
+            if record is None:
+                break
+            cost = self._cost(record.payload)
+            if used_bytes + cost > self.memory_capacity and len(heap) > 0:
+                pending = record
+                break
+            heap.push(record)
+            used_bytes += cost
+            stats.cpu_ops += log_cost(len(heap))
+
+        current_run = 0
+        out: List[Tuple[Any, str]] = []
+        while heap:
+            top = heap.peek()
+            if top.run != current_run:
+                yield out
+                stats.note_run(len(out))
+                out = []
+                current_run = top.run
+            record = heap.pop()
+            stats.cpu_ops += log_cost(len(heap) + 1)
+            used_bytes -= self._cost(record.payload)
+            out.append((record.key, self._load(record.payload)))
+            # Variable-length refill: insert as many records as now fit
+            # (possibly none, possibly several — Larson's adaptation).
+            while True:
+                if pending is None:
+                    pending = read_tagged(current_run, record.key)
+                if pending is None:
+                    break
+                # Re-tag a stale pending record against the newest output.
+                if pending.run == current_run and pending.key < record.key:
+                    pending = TaggedRecord(
+                        current_run + 1, pending.key, pending.payload
+                    )
+                cost = self._cost(pending.payload)
+                if used_bytes + cost > self.memory_capacity and len(heap) > 0:
+                    break
+                heap.push(pending)
+                used_bytes += cost
+                stats.cpu_ops += log_cost(len(heap))
+                pending = None
+        if pending is not None:
+            # Degenerate budget: flush the leftover record as its own run.
+            out_key = (pending.key, self._load(pending.payload))
+            if out and pending.key >= out[-1][0]:
+                out.append(out_key)
+            else:
+                yield out
+                stats.note_run(len(out))
+                out = [out_key]
+        if out:
+            yield out
+            stats.note_run(len(out))

@@ -1,0 +1,48 @@
+"""Load-Sort-Store run generation (Section 2.1.1).
+
+The simplest run generator: fill the whole working memory with input
+records, sort them with an internal sort, and emit the sorted chunk as a
+run.  Run length is always exactly the memory size (except possibly the
+final run), which is the baseline replacement selection improves on.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Iterable, Iterator, List
+
+from repro.heaps.heapsort import heapsort
+from repro.runs.base import RunGenerator, log_cost
+
+
+class LoadSortStore(RunGenerator):
+    """Fill memory, sort, emit; repeat.
+
+    Parameters
+    ----------
+    memory_capacity:
+        Chunk size in records.
+    use_heapsort:
+        Sort chunks with the paper's heapsort when True (default), or
+        Python's built-in Timsort when False (an optimised-library
+        stand-in, as used for the victim buffer in Section 6.3).
+    """
+
+    name = "LSS"
+
+    def __init__(self, memory_capacity: int, use_heapsort: bool = True) -> None:
+        super().__init__(memory_capacity)
+        self.use_heapsort = use_heapsort
+
+    def generate_runs(self, records: Iterable[Any]) -> Iterator[List[Any]]:
+        self.stats.reset()
+        stream = iter(records)
+        while True:
+            chunk: List[Any] = list(islice(stream, self.memory_capacity))
+            if not chunk:
+                return
+            self.stats.records_in += len(chunk)
+            self.stats.cpu_ops += len(chunk) * log_cost(len(chunk))
+            run = heapsort(chunk) if self.use_heapsort else sorted(chunk)
+            self.stats.note_run(len(run))
+            yield run

@@ -1,0 +1,45 @@
+"""External sorting pipelines: mergesort (Ch. 2, 6) and distribution sort."""
+
+from repro.sort.distribution import (
+    ExternalDistributionSort,
+    bucket_index,
+    bucket_sort,
+    uniform_bucket_ranges,
+)
+from repro.sort.hierarchical import (
+    HierarchicalSorter,
+    TreeNode,
+    parse,
+    serialize,
+)
+from repro.sort.memory_broker import (
+    ConcurrentSortSimulator,
+    MemoryBroker,
+    SortJob,
+    WaitSituation,
+)
+from repro.sort.external import (
+    DEFAULT_CPU_OP_TIME,
+    ExternalSort,
+    PhaseReport,
+    SortReport,
+)
+
+__all__ = [
+    "ConcurrentSortSimulator",
+    "DEFAULT_CPU_OP_TIME",
+    "HierarchicalSorter",
+    "MemoryBroker",
+    "SortJob",
+    "TreeNode",
+    "WaitSituation",
+    "parse",
+    "serialize",
+    "ExternalDistributionSort",
+    "ExternalSort",
+    "PhaseReport",
+    "SortReport",
+    "bucket_index",
+    "bucket_sort",
+    "uniform_bucket_ranges",
+]

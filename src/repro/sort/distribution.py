@@ -1,0 +1,146 @@
+"""Bucket sort and external distribution sort (Section 2.2).
+
+The distribution paradigm partitions records into *buckets* with
+pairwise disjoint value ranges, sorts each bucket independently, and
+concatenates — no merge phase needed.  The external variant stores each
+bucket in a (simulated) disk file and recurses when a bucket does not
+fit in memory, falling back to an internal sort when it does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.heaps.heapsort import heapsort
+from repro.iosim.files import SimulatedFile, SimulatedFileSystem
+
+
+def uniform_bucket_ranges(
+    low: Any, high: Any, num_buckets: int
+) -> List[tuple]:
+    """Split ``[low, high]`` into ``num_buckets`` equal half-open ranges.
+
+    The last range is closed so ``high`` itself lands in a bucket.
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    if high < low:
+        raise ValueError(f"invalid range: low={low} > high={high}")
+    width = (high - low) / num_buckets
+    return [(low + i * width, low + (i + 1) * width) for i in range(num_buckets)]
+
+
+def bucket_index(value: Any, low: Any, high: Any, num_buckets: int) -> int:
+    """Index of the bucket holding ``value`` under the uniform split."""
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(num_buckets - 1, max(0, int(position * num_buckets)))
+
+
+def bucket_sort(
+    records: Sequence[Any],
+    num_buckets: int = 10,
+    sort: Optional[Callable[[List[Any]], List[Any]]] = None,
+) -> List[Any]:
+    """In-memory bucket sort with a uniform value split (Figures 2.4-2.5)."""
+    items = list(records)
+    if len(items) <= 1:
+        return items
+    low, high = min(items), max(items)
+    inner_sort = sort if sort is not None else heapsort
+    buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
+    for value in items:
+        buckets[bucket_index(value, low, high, num_buckets)].append(value)
+    out: List[Any] = []
+    for bucket in buckets:
+        out.extend(inner_sort(bucket))
+    return out
+
+
+class ExternalDistributionSort:
+    """External distribution sort over the simulated filesystem.
+
+    Parameters
+    ----------
+    fs:
+        Storage stack to charge.
+    memory_capacity:
+        Records that fit in memory; buckets below this are sorted
+        internally, larger buckets recurse.
+    num_buckets:
+        Fan-out of each distribution step.
+    max_depth:
+        Safety bound on recursion for heavily clustered data (beyond
+        it, buckets are sorted with the internal sort regardless).
+    """
+
+    def __init__(
+        self,
+        fs: Optional[SimulatedFileSystem] = None,
+        memory_capacity: int = 1000,
+        num_buckets: int = 10,
+        max_depth: int = 8,
+    ) -> None:
+        if memory_capacity < 1:
+            raise ValueError(
+                f"memory_capacity must be >= 1, got {memory_capacity}"
+            )
+        if num_buckets < 2:
+            raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
+        self.fs = fs if fs is not None else SimulatedFileSystem()
+        self.memory_capacity = memory_capacity
+        self.num_buckets = num_buckets
+        self.max_depth = max_depth
+        self._next_id = 0
+
+    def sort(self, records) -> SimulatedFile:
+        """Sort ``records`` into a simulated file, charging all I/O."""
+        staged = self._new_file("dsort-input")
+        staged.extend(records)
+        staged.close()
+        out = self._new_file("dsort-output")
+        self._sort_file(staged, out, depth=0)
+        out.close()
+        return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _sort_file(self, source: SimulatedFile, out: SimulatedFile, depth: int) -> None:
+        n = len(source)
+        if n <= self.memory_capacity or depth >= self.max_depth:
+            chunk = source.read_all()
+            chunk.sort()
+            out.extend(chunk)
+            self.fs.delete(source.name)
+            return
+        # One streaming pass to find the value range.
+        low: Optional[Any] = None
+        high: Optional[Any] = None
+        for value in source.records():
+            if low is None or value < low:
+                low = value
+            if high is None or value > high:
+                high = value
+        if low == high:
+            # All keys equal: already sorted.
+            out.extend(source.records())
+            self.fs.delete(source.name)
+            return
+        buckets = [self._new_file(f"bucket-d{depth}") for _ in range(self.num_buckets)]
+        for value in source.records():
+            index = bucket_index(value, low, high, self.num_buckets)
+            buckets[index].append(value)
+        for bucket in buckets:
+            bucket.close()
+        self.fs.delete(source.name)
+        for bucket in buckets:
+            if len(bucket) == 0:
+                self.fs.delete(bucket.name)
+                continue
+            self._sort_file(bucket, out, depth + 1)
+
+    def _new_file(self, prefix: str) -> SimulatedFile:
+        name = f"{prefix}-{id(self)}-{self._next_id}"
+        self._next_id += 1
+        return self.fs.create(name, write_buffer_pages=2)

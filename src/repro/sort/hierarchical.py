@@ -1,0 +1,155 @@
+"""Sorting hierarchical data (Koltsidas, Muller & Viglas; Section 3.7.4).
+
+Hermes-style sorting of tree-structured (XML-like) data: the children
+of every node must be ordered by key, recursively.  When a node's
+children do not fit in memory, replacement selection generates sorted
+runs of children which a k-way merge combines — the external-sorting
+machinery of this library applied per tree level.
+
+The module includes a minimal XML-ish serialisation so trees can be
+round-tripped the way the original system streams documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.merge.kway import kway_merge
+from repro.runs.replacement_selection import ReplacementSelection
+
+
+@dataclass
+class TreeNode:
+    """A node of a hierarchical document."""
+
+    key: Any
+    data: Any = None
+    children: List["TreeNode"] = field(default_factory=list)
+
+    def add(self, child: "TreeNode") -> "TreeNode":
+        self.children.append(child)
+        return child
+
+    def descendant_count(self) -> int:
+        """Number of nodes in this subtree, excluding the node itself."""
+        return sum(1 + child.descendant_count() for child in self.children)
+
+    def is_sorted(self) -> bool:
+        """True when every node's children are ordered by key."""
+        keys = [child.key for child in self.children]
+        if keys != sorted(keys):
+            return False
+        return all(child.is_sorted() for child in self.children)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeNode):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.data == other.data
+            and self.children == other.children
+        )
+
+
+class HierarchicalSorter:
+    """Order the children of every node by key (Hermes' task).
+
+    Parameters
+    ----------
+    memory_capacity:
+        Children that fit in memory at once; larger sibling lists go
+        through replacement selection + k-way merge, exactly as the
+        original applies RS at each node.
+    """
+
+    def __init__(self, memory_capacity: int = 1_024) -> None:
+        if memory_capacity < 1:
+            raise ValueError(
+                f"memory_capacity must be >= 1, got {memory_capacity}"
+            )
+        self.memory_capacity = memory_capacity
+        #: Counters for tests/benchmarks.
+        self.external_sorts = 0
+        self.internal_sorts = 0
+
+    def sort(self, root: TreeNode) -> TreeNode:
+        """Return a new tree with every sibling list sorted by key."""
+        sorted_children = [self.sort(child) for child in root.children]
+        ordered = self._sort_siblings(sorted_children)
+        return TreeNode(key=root.key, data=root.data, children=ordered)
+
+    def _sort_siblings(self, children: List[TreeNode]) -> List[TreeNode]:
+        if len(children) <= 1:
+            return list(children)
+        if len(children) <= self.memory_capacity:
+            self.internal_sorts += 1
+            return sorted(children, key=lambda node: node.key)
+        # External path: RS over the sibling stream, then a k-way merge
+        # of the generated runs (decorated to keep nodes attached).
+        self.external_sorts += 1
+        generator = ReplacementSelection(self.memory_capacity)
+        decorated = ((child.key, index, child) for index, child in enumerate(children))
+        runs = list(generator.generate_runs(decorated))
+        merged = kway_merge(runs)
+        return [node for (_, _, node) in merged]
+
+
+# -- XML-ish serialisation ------------------------------------------------------
+
+
+def serialize(node: TreeNode) -> str:
+    """Render a tree as a nested tag string (keys as tag names)."""
+    inner = "".join(serialize(child) for child in node.children)
+    data = "" if node.data is None else str(node.data)
+    return f"<{node.key}>{data}{inner}</{node.key}>"
+
+
+def parse(text: str) -> TreeNode:
+    """Parse the output of :func:`serialize` back into a tree."""
+    tokens = _tokenize(text)
+    root, position = _parse_node(tokens, 0)
+    if position != len(tokens):
+        raise ValueError(f"trailing content after the root element: {tokens[position:]}")
+    return root
+
+
+def _tokenize(text: str) -> List[tuple]:
+    tokens: List[tuple] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "<":
+            end = text.index(">", i)
+            tag = text[i + 1 : end]
+            if tag.startswith("/"):
+                tokens.append(("close", tag[1:]))
+            else:
+                tokens.append(("open", tag))
+            i = end + 1
+        else:
+            next_tag = text.index("<", i)
+            tokens.append(("text", text[i:next_tag]))
+            i = next_tag
+    return tokens
+
+
+def _parse_node(tokens: List[tuple], position: int) -> tuple:
+    kind, tag = tokens[position]
+    if kind != "open":
+        raise ValueError(f"expected an opening tag, got {tokens[position]}")
+    key: Any = int(tag) if tag.lstrip("-").isdigit() else tag
+    node = TreeNode(key=key)
+    position += 1
+    while position < len(tokens):
+        kind, value = tokens[position]
+        if kind == "text":
+            node.data = value
+            position += 1
+        elif kind == "open":
+            child, position = _parse_node(tokens, position)
+            node.children.append(child)
+        else:  # close
+            if value != tag:
+                raise ValueError(f"mismatched tags <{tag}> vs </{value}>")
+            return node, position + 1
+    raise ValueError(f"unterminated element <{tag}>")

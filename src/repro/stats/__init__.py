@@ -1,0 +1,59 @@
+"""Statistical machinery of the paper's Chapter 5 (Appendix B)."""
+
+from repro.stats.anova import (
+    AnovaResult,
+    Factor,
+    FactorialDesign,
+    TermResult,
+    all_main_effects,
+    anova,
+    first_order_interactions,
+    one_way_anova,
+    wls_weights_by_factor,
+)
+from repro.stats.diagnostics import (
+    AssumptionReport,
+    ResidualReport,
+    cell_residuals,
+    check_assumptions,
+    residual_histogram,
+)
+from repro.stats.factorial import (
+    BUFFER_SETUP_LEVELS,
+    BUFFER_SIZE_LEVELS,
+    INPUT_HEURISTIC_LEVELS,
+    OUTPUT_HEURISTIC_LEVELS,
+    FactorialSettings,
+    count_runs,
+    run_factorial,
+    runs_by_dataset,
+)
+from repro.stats.tukey import PairwiseComparison, TukeyResult, tukey_hsd
+
+__all__ = [
+    "AnovaResult",
+    "AssumptionReport",
+    "ResidualReport",
+    "cell_residuals",
+    "check_assumptions",
+    "residual_histogram",
+    "BUFFER_SETUP_LEVELS",
+    "BUFFER_SIZE_LEVELS",
+    "Factor",
+    "FactorialDesign",
+    "FactorialSettings",
+    "INPUT_HEURISTIC_LEVELS",
+    "OUTPUT_HEURISTIC_LEVELS",
+    "PairwiseComparison",
+    "TermResult",
+    "TukeyResult",
+    "all_main_effects",
+    "anova",
+    "count_runs",
+    "first_order_interactions",
+    "one_way_anova",
+    "run_factorial",
+    "runs_by_dataset",
+    "tukey_hsd",
+    "wls_weights_by_factor",
+]

@@ -1,0 +1,390 @@
+"""Fixed-effects ANOVA (Appendix B).
+
+Implements the analysis pipeline of the paper's Chapter 5:
+
+* one-way and n-way fixed-effects ANOVA with arbitrary interaction
+  terms, on (balanced) crossed factorial designs;
+* Minimum Least Squares and Weighted Least Squares parameter
+  estimation (Appendix B.5; WLS weights 1/sigma^2 per level, Section
+  5.2.5);
+* per-term F tests with significance and observed power (non-central F),
+* the model-quality statistics the paper reports: R^2, residual sigma,
+  and the coefficient of variation CV.
+
+The implementation fits the linear model by (weighted) least squares on
+a sum-to-zero effect-coded design matrix, and computes each term's sum
+of squares as the increase in residual sum of squares when the term is
+dropped — for balanced designs this coincides with the classical
+textbook decomposition used by the paper (and SPSS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sstats
+
+
+@dataclass(frozen=True, slots=True)
+class Factor:
+    """A categorical explanatory variable."""
+
+    name: str
+    levels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError(
+                f"factor {self.name!r} needs >= 2 levels, got {self.levels}"
+            )
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError(f"factor {self.name!r} has duplicate levels")
+
+
+@dataclass(slots=True)
+class TermResult:
+    """One row of an ANOVA table."""
+
+    term: Tuple[str, ...]
+    sum_squares: float
+    df: int
+    mean_squares: float
+    f_value: float
+    significance: float
+    power: float
+
+    @property
+    def label(self) -> str:
+        return "*".join(self.term)
+
+    def is_significant(self, alpha: float = 0.05) -> bool:
+        return self.significance < alpha
+
+
+@dataclass(slots=True)
+class AnovaResult:
+    """A fitted ANOVA model."""
+
+    terms: List[TermResult]
+    residual_ss: float
+    residual_df: int
+    total_ss: float
+    grand_mean: float
+    r_squared: float
+    sigma: float
+    cv_percent: float
+    weighted: bool = False
+    cell_means: Dict[tuple, float] = field(default_factory=dict)
+
+    @property
+    def mse(self) -> float:
+        if self.residual_df == 0:
+            return 0.0
+        return self.residual_ss / self.residual_df
+
+    def term(self, *names: str) -> TermResult:
+        """Look up a term row by its factor names (order-insensitive)."""
+        wanted = frozenset(names)
+        for row in self.terms:
+            if frozenset(row.term) == wanted:
+                return row
+        raise KeyError(f"no term {names} in the model")
+
+    def format_table(self) -> str:
+        """Render the table in the paper's layout (e.g. Table 5.2)."""
+        lines = [
+            f"{'Factor':<22}{'SS':>14}{'D.F.':>7}{'MSS':>14}"
+            f"{'F':>12}{'Sig.':>8}{'Power':>8}"
+        ]
+        for row in self.terms:
+            lines.append(
+                f"{row.label:<22}{row.sum_squares:>14.3f}{row.df:>7d}"
+                f"{row.mean_squares:>14.3f}{row.f_value:>12.3f}"
+                f"{row.significance:>8.3f}{row.power:>8.3f}"
+            )
+        lines.append(
+            f"R2 = {self.r_squared:.3f}   sigma = {np.sqrt(self.mse):.3f}   "
+            f"CV = {self.cv_percent:.2f}%"
+        )
+        return "\n".join(lines)
+
+
+class FactorialDesign:
+    """Observations of a crossed factorial experiment.
+
+    Parameters
+    ----------
+    factors:
+        The explanatory variables, in the order level tuples use.
+    """
+
+    def __init__(self, factors: Sequence[Factor]) -> None:
+        if not factors:
+            raise ValueError("need at least one factor")
+        names = [f.name for f in factors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate factor names: {names}")
+        self.factors = list(factors)
+        self._level_index = [
+            {level: i for i, level in enumerate(f.levels)} for f in factors
+        ]
+        self._rows: List[Tuple[Tuple[int, ...], float]] = []
+
+    def add(self, levels: Sequence[str], value: float) -> None:
+        """Record one observation at the given factor levels."""
+        if len(levels) != len(self.factors):
+            raise ValueError(
+                f"expected {len(self.factors)} levels, got {len(levels)}"
+            )
+        coded = []
+        for idx, (factor, level) in enumerate(zip(self.factors, levels)):
+            try:
+                coded.append(self._level_index[idx][level])
+            except KeyError:
+                raise ValueError(
+                    f"unknown level {level!r} for factor {factor.name!r}"
+                ) from None
+        self._rows.append((tuple(coded), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([v for (_, v) in self._rows], dtype=float)
+
+    @property
+    def coded_levels(self) -> np.ndarray:
+        return np.array([c for (c, _) in self._rows], dtype=int)
+
+    def factor_index(self, name: str) -> int:
+        for i, factor in enumerate(self.factors):
+            if factor.name == name:
+                return i
+        raise KeyError(f"no factor named {name!r}")
+
+    def level_means(self, name: str) -> Dict[str, float]:
+        """Mean of the response grouped by one factor's levels."""
+        idx = self.factor_index(name)
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for coded, value in self._rows:
+            key = coded[idx]
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+        factor = self.factors[idx]
+        return {
+            factor.levels[k]: sums[k] / counts[k] for k in sorted(sums)
+        }
+
+    def level_variances(self, name: str) -> Dict[str, float]:
+        """Sample variance of the response by one factor's levels."""
+        idx = self.factor_index(name)
+        groups: Dict[int, List[float]] = {}
+        for coded, value in self._rows:
+            groups.setdefault(coded[idx], []).append(value)
+        factor = self.factors[idx]
+        out: Dict[str, float] = {}
+        for k, values in groups.items():
+            arr = np.array(values)
+            out[factor.levels[k]] = float(arr.var(ddof=1)) if len(arr) > 1 else 0.0
+        return out
+
+    def group_means(self, names: Sequence[str]) -> Dict[tuple, float]:
+        """Mean response for every combination of the named factors."""
+        idxs = [self.factor_index(n) for n in names]
+        sums: Dict[tuple, float] = {}
+        counts: Dict[tuple, int] = {}
+        for coded, value in self._rows:
+            key = tuple(self.factors[i].levels[coded[i]] for i in idxs)
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+
+def _effect_columns(num_levels: int) -> np.ndarray:
+    """Sum-to-zero effect coding: (levels x (levels-1)) matrix."""
+    coding = np.zeros((num_levels, num_levels - 1))
+    for j in range(num_levels - 1):
+        coding[j, j] = 1.0
+    coding[num_levels - 1, :] = -1.0
+    return coding
+
+
+def _term_columns(
+    design: FactorialDesign, term: Tuple[str, ...]
+) -> np.ndarray:
+    """Design-matrix columns of one main effect or interaction term."""
+    coded = design.coded_levels
+    blocks: List[np.ndarray] = []
+    for name in term:
+        idx = design.factor_index(name)
+        coding = _effect_columns(len(design.factors[idx].levels))
+        blocks.append(coding[coded[:, idx]])
+    columns = blocks[0]
+    for block in blocks[1:]:
+        # Kronecker-style column products for interactions.
+        columns = np.einsum("ni,nj->nij", columns, block).reshape(
+            len(coded), -1
+        )
+    return columns
+
+
+def _weighted_rss(
+    x: np.ndarray, y: np.ndarray, w: Optional[np.ndarray]
+) -> float:
+    """Residual sum of squares of the (weighted) least-squares fit."""
+    if w is not None:
+        sw = np.sqrt(w)
+        x = x * sw[:, None]
+        y = y * sw
+    beta, _, _, _ = np.linalg.lstsq(x, y, rcond=None)
+    residual = y - x @ beta
+    return float(residual @ residual)
+
+
+def anova(
+    design: FactorialDesign,
+    terms: Sequence[Sequence[str]],
+    weights: Optional[np.ndarray] = None,
+    alpha: float = 0.05,
+) -> AnovaResult:
+    """Fit an n-way fixed-effects ANOVA.
+
+    Parameters
+    ----------
+    design:
+        The observations.
+    terms:
+        Model terms: sequences of factor names, e.g.
+        ``[("i",), ("j",), ("i", "j")]`` for two mains plus their
+        interaction.
+    weights:
+        Optional per-observation WLS weights (Section 5.2.5 uses
+        ``1 / variance(level)``); None = ordinary least squares.
+    alpha:
+        Significance level for the power computation.
+    """
+    if len(design) == 0:
+        raise ValueError("design has no observations")
+    y = design.values
+    n = len(y)
+    term_tuples = [tuple(t) for t in terms]
+    if len({frozenset(t) for t in term_tuples}) != len(term_tuples):
+        raise ValueError(f"duplicate terms in {term_tuples}")
+
+    w = np.asarray(weights, dtype=float) if weights is not None else None
+    if w is not None and len(w) != n:
+        raise ValueError(f"got {len(w)} weights for {n} observations")
+
+    intercept = np.ones((n, 1))
+    blocks = {t: _term_columns(design, t) for t in term_tuples}
+    full_x = np.hstack([intercept] + [blocks[t] for t in term_tuples])
+    full_rss = _weighted_rss(full_x, y, w)
+
+    if w is None:
+        grand_mean = float(y.mean())
+        total_ss = float(((y - grand_mean) ** 2).sum())
+    else:
+        grand_mean = float((w * y).sum() / w.sum())
+        total_ss = float((w * (y - grand_mean) ** 2).sum())
+
+    model_df = sum(
+        int(np.prod([len(design.factors[design.factor_index(f)].levels) - 1 for f in t]))
+        for t in term_tuples
+    )
+    residual_df = n - 1 - model_df
+    if residual_df <= 0:
+        raise ValueError(
+            f"saturated model: {model_df} parameters for {n} observations"
+        )
+    mse = full_rss / residual_df
+
+    rows: List[TermResult] = []
+    for t in term_tuples:
+        reduced = [u for u in term_tuples if u != t]
+        reduced_x = np.hstack(
+            [intercept] + [blocks[u] for u in reduced]
+        )
+        ss = _weighted_rss(reduced_x, y, w) - full_rss
+        ss = max(0.0, ss)
+        df = int(
+            np.prod(
+                [len(design.factors[design.factor_index(f)].levels) - 1 for f in t]
+            )
+        )
+        ms = ss / df
+        if mse > 0:
+            f_value = ms / mse
+            significance = float(sstats.f.sf(f_value, df, residual_df))
+            f_crit = float(sstats.f.isf(alpha, df, residual_df))
+            power = float(sstats.ncf.sf(f_crit, df, residual_df, ss / mse))
+        else:
+            # A perfect fit: any non-zero effect is trivially detected.
+            f_value = float("inf") if ss > 0 else 0.0
+            significance = 0.0 if ss > 0 else 1.0
+            power = 1.0 if ss > 0 else 0.0
+        rows.append(
+            TermResult(
+                term=t,
+                sum_squares=ss,
+                df=df,
+                mean_squares=ms,
+                f_value=f_value,
+                significance=significance,
+                power=power,
+            )
+        )
+
+    r_squared = 1.0 - full_rss / total_ss if total_ss > 0 else 1.0
+    sigma = float(np.sqrt(mse))
+    cv = 100.0 * sigma / abs(grand_mean) if grand_mean != 0 else float("inf")
+    return AnovaResult(
+        terms=rows,
+        residual_ss=full_rss,
+        residual_df=residual_df,
+        total_ss=total_ss,
+        grand_mean=grand_mean,
+        r_squared=r_squared,
+        sigma=sigma,
+        cv_percent=cv,
+        weighted=w is not None,
+    )
+
+
+def one_way_anova(design: FactorialDesign, factor: str) -> AnovaResult:
+    """Convenience wrapper: single-factor model (Appendix B.2)."""
+    return anova(design, [(factor,)])
+
+
+def all_main_effects(design: FactorialDesign) -> List[Tuple[str, ...]]:
+    """Main-effect terms for every factor of a design."""
+    return [(f.name,) for f in design.factors]
+
+
+def first_order_interactions(design: FactorialDesign) -> List[Tuple[str, ...]]:
+    """All two-factor interaction terms of a design."""
+    names = [f.name for f in design.factors]
+    return [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
+    ]
+
+
+def wls_weights_by_factor(
+    design: FactorialDesign, factor: str
+) -> np.ndarray:
+    """Per-observation weights 1/variance(level of ``factor``).
+
+    The paper's WLS models (Tables 5.6 and 5.11) weight by the inverse
+    variance of the response within each buffer-size level.
+    """
+    variances = design.level_variances(factor)
+    idx = design.factor_index(factor)
+    levels = design.factors[idx].levels
+    floor = max(1e-12, min((v for v in variances.values() if v > 0), default=1.0) * 1e-6)
+    coded = design.coded_levels[:, idx]
+    return np.array(
+        [1.0 / max(variances[levels[c]], floor) for c in coded], dtype=float
+    )

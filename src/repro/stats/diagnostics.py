@@ -1,0 +1,143 @@
+"""Model-assumption diagnostics for ANOVA (Appendix B.3).
+
+The paper validates each fitted model against the three ANOVA
+hypotheses before trusting it:
+
+* **independence** — standardized residuals show no pattern against the
+  predicted values;
+* **normality** — residuals follow a bell curve (the paper plots
+  histograms, Figures 5.7 and 5.10);
+* **homoscedasticity** — the response variance is equal across the
+  levels of each factor (when it fails, the paper switches to WLS,
+  Sections 5.2.5-5.2.6).
+
+This module computes the residuals and runs the standard tests
+(Shapiro-Wilk for normality, Levene for equal variances, a
+residual-vs-prediction correlation probe for independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.stats.anova import FactorialDesign
+
+
+@dataclass(slots=True)
+class ResidualReport:
+    """Standardized residuals of a cell-means fit."""
+
+    residuals: np.ndarray
+    standardized: np.ndarray
+    predictions: np.ndarray
+
+
+@dataclass(slots=True)
+class AssumptionReport:
+    """Outcome of the three Appendix B.3 hypothesis checks."""
+
+    normality_p: float
+    independence_correlation: float
+    homoscedasticity_p: Dict[str, float]
+
+    def normality_ok(self, alpha: float = 0.05) -> bool:
+        """True when Shapiro-Wilk fails to reject normal residuals."""
+        return self.normality_p >= alpha
+
+    def homoscedastic(self, factor: str, alpha: float = 0.05) -> bool:
+        """True when Levene fails to reject equal variances for a factor."""
+        return self.homoscedasticity_p[factor] >= alpha
+
+    def wls_recommended(self, alpha: float = 0.05) -> List[str]:
+        """Factors whose unequal variances suggest WLS re-estimation."""
+        return [
+            factor
+            for factor, p_value in self.homoscedasticity_p.items()
+            if p_value < alpha
+        ]
+
+
+def cell_residuals(
+    design: FactorialDesign, factors: Sequence[str]
+) -> ResidualReport:
+    """Residuals of the saturated cell-means model over ``factors``.
+
+    Each observation is compared to the mean of its cell; this is the
+    error term every ANOVA model of the paper shares.
+    """
+    means = design.group_means(list(factors))
+    idxs = [design.factor_index(name) for name in factors]
+    predictions = []
+    values = []
+    for coded, value in design._rows:  # noqa: SLF001 - same-package access
+        key = tuple(design.factors[i].levels[coded[i]] for i in idxs)
+        predictions.append(means[key])
+        values.append(value)
+    predictions_arr = np.array(predictions)
+    values_arr = np.array(values)
+    residuals = values_arr - predictions_arr
+    scale = residuals.std(ddof=1) if len(residuals) > 1 else 1.0
+    if scale == 0:
+        standardized = np.zeros_like(residuals)
+    else:
+        standardized = residuals / scale
+    return ResidualReport(
+        residuals=residuals,
+        standardized=standardized,
+        predictions=predictions_arr,
+    )
+
+
+def residual_histogram(
+    report: ResidualReport, bins: int = 11
+) -> List[Tuple[float, int]]:
+    """Histogram of standardized residuals (Figures 5.7 / 5.10).
+
+    Returns (bin center, count) pairs, ready for ASCII plotting.
+    """
+    counts, edges = np.histogram(report.standardized, bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return list(zip(centers.tolist(), counts.tolist()))
+
+
+def check_assumptions(
+    design: FactorialDesign, factors: Sequence[str]
+) -> AssumptionReport:
+    """Run the three hypothesis checks of Appendix B.3."""
+    report = cell_residuals(design, factors)
+    residuals = report.residuals
+
+    if len(residuals) >= 3 and residuals.std() > 0:
+        _, normality_p = sstats.shapiro(residuals)
+    else:
+        normality_p = 1.0
+
+    if residuals.std() > 0 and report.predictions.std() > 0:
+        correlation = float(
+            np.corrcoef(report.predictions, np.abs(residuals))[0, 1]
+        )
+    else:
+        correlation = 0.0
+
+    homoscedasticity: Dict[str, float] = {}
+    for factor in design.factors:
+        groups: Dict[str, List[float]] = {}
+        idx = design.factor_index(factor.name)
+        for (coded, value) in design._rows:  # noqa: SLF001
+            groups.setdefault(factor.levels[coded[idx]], []).append(value)
+        samples = [np.array(v) for v in groups.values() if len(v) > 1]
+        if len(samples) >= 2 and any(s.std() > 0 for s in samples):
+            _, p_value = sstats.levene(*samples)
+        else:
+            p_value = 1.0
+        homoscedasticity[factor.name] = float(p_value)
+
+    return AssumptionReport(
+        normality_p=float(normality_p),
+        independence_correlation=correlation,
+        homoscedasticity_p=homoscedasticity,
+    )

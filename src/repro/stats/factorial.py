@@ -1,0 +1,162 @@
+"""Crossed factorial experiment runner for 2WRS (Section 5.2).
+
+The paper runs every combination of the four configuration factors
+(Table 5.1) on each input dataset, five seeds per cell, and models the
+*number of runs generated* with ANOVA.  This module builds those
+observation tables at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import TwoWayConfig
+from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.stats.anova import Factor, FactorialDesign
+from repro.workloads.generators import make_input
+
+#: Factor i levels (Table 5.1): which buffers exist.
+BUFFER_SETUP_LEVELS: Tuple[str, ...] = ("input", "both", "victim")
+
+#: Factor j levels: fraction of memory for buffers.
+BUFFER_SIZE_LEVELS: Tuple[float, ...] = (0.0002, 0.002, 0.02, 0.20)
+
+#: Factor k levels: input heuristics (paper order 0..5).
+INPUT_HEURISTIC_LEVELS: Tuple[str, ...] = (
+    "random",
+    "alternate",
+    "mean",
+    "median",
+    "useful",
+    "balancing",
+)
+
+#: Factor l levels: output heuristics (paper order 0..4).
+OUTPUT_HEURISTIC_LEVELS: Tuple[str, ...] = (
+    "random",
+    "alternate",
+    "useful",
+    "balancing",
+    "min_distance",
+)
+
+
+@dataclass(slots=True)
+class FactorialSettings:
+    """Scale and factor subsets of a factorial sweep.
+
+    The defaults cross every level the paper tests; experiments shrink
+    the heuristic sets to keep benchmark runtimes reasonable (that
+    subset choice is logged in EXPERIMENTS.md).
+    """
+
+    memory_capacity: int = 500
+    input_records: int = 25_000
+    seeds: Sequence[int] = (11, 22, 33, 44, 55)
+    buffer_setups: Sequence[str] = BUFFER_SETUP_LEVELS
+    buffer_sizes: Sequence[float] = BUFFER_SIZE_LEVELS
+    input_heuristics: Sequence[str] = INPUT_HEURISTIC_LEVELS
+    output_heuristics: Sequence[str] = OUTPUT_HEURISTIC_LEVELS
+
+    def validate(self) -> None:
+        unknown_in = set(self.input_heuristics) - set(INPUT_HEURISTICS)
+        unknown_out = set(self.output_heuristics) - set(OUTPUT_HEURISTICS)
+        if unknown_in:
+            raise ValueError(f"unknown input heuristics: {sorted(unknown_in)}")
+        if unknown_out:
+            raise ValueError(f"unknown output heuristics: {sorted(unknown_out)}")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+
+    @property
+    def cells(self) -> int:
+        return (
+            len(self.buffer_setups)
+            * len(self.buffer_sizes)
+            * len(self.input_heuristics)
+            * len(self.output_heuristics)
+        )
+
+
+#: Base seed of the underlying datasets; replicates vary only the
+#: additive noise, exactly as the paper's ANOVA does (Section 5.2).
+BASE_DATASET_SEED = 1234
+
+
+def count_runs(
+    dataset: str,
+    config: TwoWayConfig,
+    memory_capacity: int,
+    input_records: int,
+    seed: int,
+) -> int:
+    """Run 2WRS once and return the number of runs generated.
+
+    ``seed`` re-draws only the noise added on top of a fixed base
+    dataset, so per-cell variance reflects the noise (as in the paper)
+    rather than an entirely different input.
+    """
+    records = make_input(
+        dataset, input_records, seed=BASE_DATASET_SEED, noise_seed=seed
+    )
+    algorithm = TwoWayReplacementSelection(memory_capacity, config)
+    return algorithm.count_runs(records)
+
+
+def run_factorial(
+    dataset: str,
+    settings: Optional[FactorialSettings] = None,
+) -> FactorialDesign:
+    """Produce the observation table for one input dataset.
+
+    Factors are named as in Table 5.1: ``i`` (buffer setup), ``j``
+    (buffer size), ``k`` (input heuristic), ``l`` (output heuristic);
+    the response is the number of runs generated.
+    """
+    settings = settings if settings is not None else FactorialSettings()
+    settings.validate()
+    design = FactorialDesign(
+        [
+            Factor("i", tuple(settings.buffer_setups)),
+            Factor("j", tuple(str(s) for s in settings.buffer_sizes)),
+            Factor("k", tuple(settings.input_heuristics)),
+            Factor("l", tuple(settings.output_heuristics)),
+        ]
+    )
+    for setup in settings.buffer_setups:
+        for size in settings.buffer_sizes:
+            for input_h in settings.input_heuristics:
+                for output_h in settings.output_heuristics:
+                    for seed in settings.seeds:
+                        config = TwoWayConfig(
+                            buffer_setup=setup,
+                            buffer_fraction=size,
+                            input_heuristic=input_h,
+                            output_heuristic=output_h,
+                            seed=seed,
+                        )
+                        runs = count_runs(
+                            dataset,
+                            config,
+                            settings.memory_capacity,
+                            settings.input_records,
+                            seed,
+                        )
+                        design.add(
+                            (setup, str(size), input_h, output_h), runs
+                        )
+    return design
+
+
+def runs_by_dataset(
+    datasets: Sequence[str],
+    settings: Optional[FactorialSettings] = None,
+) -> Dict[str, List[float]]:
+    """Raw per-dataset observations (the data behind Figure 5.2)."""
+    out: Dict[str, List[float]] = {}
+    for dataset in datasets:
+        design = run_factorial(dataset, settings)
+        out[dataset] = list(design.values)
+    return out

@@ -1,0 +1,140 @@
+"""Tukey HSD pairwise comparisons (Section 5.2, Tables 5.7-5.9, 5.12).
+
+After a factor is found significant, the paper compares its levels
+pairwise with Tukey's test to identify which levels are statistically
+indistinguishable — the optimal-configuration tables list the best
+levels together with the pairs the test failed to separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.stats.anova import AnovaResult, FactorialDesign
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseComparison:
+    """One row of a Tukey comparison table."""
+
+    level_a: str
+    level_b: str
+    mean_a: float
+    mean_b: float
+    q_statistic: float
+    significance: float
+
+    def rejects_equality(self, alpha: float = 0.05) -> bool:
+        """True when the test finds the level means different."""
+        return self.significance < alpha
+
+
+@dataclass(slots=True)
+class TukeyResult:
+    """All pairwise comparisons of one factor (or factor combination)."""
+
+    factor: Tuple[str, ...]
+    comparisons: List[PairwiseComparison]
+    means: Dict[str, float]
+
+    def significance_matrix(self) -> Dict[Tuple[str, str], float]:
+        """(level, level) -> significance, both orientations filled."""
+        out: Dict[Tuple[str, str], float] = {}
+        for row in self.comparisons:
+            out[(row.level_a, row.level_b)] = row.significance
+            out[(row.level_b, row.level_a)] = row.significance
+        return out
+
+    def best_levels(self, alpha: float = 0.05, minimize: bool = True) -> List[str]:
+        """Levels statistically indistinguishable from the best mean.
+
+        The paper marks these in boldface: the level with the smallest
+        mean (we minimise the number of runs) plus every level whose
+        pairwise comparison against it fails to reject equality.
+        """
+        ordered = sorted(self.means, key=self.means.get, reverse=not minimize)
+        best = ordered[0]
+        matrix = self.significance_matrix()
+        chosen = [best]
+        for level in ordered[1:]:
+            if matrix.get((best, level), 0.0) >= alpha:
+                chosen.append(level)
+        return chosen
+
+    def format_table(self, alpha: float = 0.05) -> str:
+        """Render the pairwise significance matrix (Table 5.7 layout)."""
+        levels = sorted(self.means)
+        matrix = self.significance_matrix()
+        header = " " * 8 + "".join(f"{lv:>10}" for lv in levels)
+        lines = [header]
+        for a in levels:
+            cells = []
+            for b in levels:
+                if a == b:
+                    cells.append(f"{'-':>10}")
+                else:
+                    cells.append(f"{matrix[(a, b)]:>10.3f}")
+            lines.append(f"{a:<8}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def tukey_hsd(
+    design: FactorialDesign,
+    anova_result: AnovaResult,
+    factors: Sequence[str],
+) -> TukeyResult:
+    """Tukey HSD over the levels of one factor or factor combination.
+
+    Uses the fitted model's MSE and residual df as the error estimate,
+    and the studentized range distribution for significance — the same
+    procedure SPSS applies in the paper's Chapter 5.
+
+    For combinations, levels are joined with "/" (e.g. "mean/random").
+    """
+    names = list(factors)
+    groups = design.group_means(names)
+    counts: Dict[tuple, int] = {}
+    idxs = [design.factor_index(n) for n in names]
+    for coded, _ in design._rows:  # noqa: SLF001 - same-package access
+        key = tuple(design.factors[i].levels[coded[i]] for i in idxs)
+        counts[key] = counts.get(key, 0) + 1
+
+    labels = {key: "/".join(key) for key in groups}
+    k = len(groups)
+    if k < 2:
+        raise ValueError(f"need >= 2 level combinations, got {k}")
+    mse = anova_result.mse
+    df = anova_result.residual_df
+
+    comparisons: List[PairwiseComparison] = []
+    for key_a, key_b in combinations(sorted(groups), 2):
+        mean_a, mean_b = groups[key_a], groups[key_b]
+        n_a, n_b = counts[key_a], counts[key_b]
+        # Tukey-Kramer standard error for (possibly) unequal cell sizes.
+        se = np.sqrt(mse / 2.0 * (1.0 / n_a + 1.0 / n_b))
+        if se == 0:
+            q = float("inf") if mean_a != mean_b else 0.0
+            significance = 0.0 if mean_a != mean_b else 1.0
+        else:
+            q = abs(mean_a - mean_b) / se
+            significance = float(sstats.studentized_range.sf(q, k, df))
+        comparisons.append(
+            PairwiseComparison(
+                level_a=labels[key_a],
+                level_b=labels[key_b],
+                mean_a=mean_a,
+                mean_b=mean_b,
+                q_statistic=q,
+                significance=significance,
+            )
+        )
+    return TukeyResult(
+        factor=tuple(names),
+        comparisons=comparisons,
+        means={labels[k_]: v for k_, v in groups.items()},
+    )

@@ -1,0 +1,29 @@
+"""Input data distributions from the paper's evaluation (Figure 5.1)."""
+
+from repro.workloads.generators import (
+    DEFAULT_NOISE,
+    DEFAULT_VALUE_SPAN,
+    DISTRIBUTIONS,
+    alternating_input,
+    make_input,
+    mixed_balanced_input,
+    mixed_imbalanced_input,
+    mixed_input,
+    random_input,
+    reverse_sorted_input,
+    sorted_input,
+)
+
+__all__ = [
+    "DEFAULT_NOISE",
+    "DEFAULT_VALUE_SPAN",
+    "DISTRIBUTIONS",
+    "alternating_input",
+    "make_input",
+    "mixed_balanced_input",
+    "mixed_imbalanced_input",
+    "mixed_input",
+    "random_input",
+    "reverse_sorted_input",
+    "sorted_input",
+]

@@ -1,0 +1,246 @@
+"""Input data distributions (Section 5.2, Figure 5.1).
+
+The paper evaluates six basic distributions which it presents as building
+blocks of more complicated real inputs:
+
+* ``sorted``            — records already in ascending order.
+* ``reverse_sorted``    — records in descending order.
+* ``alternating``       — interleaved increasing / decreasing sections.
+* ``random``            — uniformly random records.
+* ``mixed_balanced``    — alternates one record of an increasing sequence
+  with one record of a decreasing sequence.
+* ``mixed_imbalanced``  — one increasing record per three decreasing ones.
+
+The paper adds a uniform random value in ``[1, 1000]`` to every record so
+that repeated executions with different seeds produce variance (for the
+ANOVA study); generators accept ``noise`` to reproduce that.
+
+All generators are lazy (they yield ints) so arbitrarily long inputs can
+be streamed without materialising them; ``n`` records span the value
+range ``[0, value_span)`` scaled like the paper's 10**9 key space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, Optional
+
+DEFAULT_NOISE = 1000
+DEFAULT_VALUE_SPAN = 10**9
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _noise_rng(seed: Optional[int], noise_seed: Optional[int]) -> random.Random:
+    """RNG for the additive noise; defaults to the base seed.
+
+    The paper's ANOVA replicates re-draw only the noise on top of a
+    fixed base dataset (Section 5.2); passing ``noise_seed`` reproduces
+    that: same ``seed`` -> same structure, different ``noise_seed`` ->
+    different replicate.
+    """
+    return random.Random(seed if noise_seed is None else noise_seed)
+
+
+def _noisy(value: int, noise: int, rng: random.Random) -> int:
+    if noise <= 0:
+        return value
+    return value + rng.randint(1, noise)
+
+
+def _step(n: int, value_span: int) -> int:
+    """Spacing between consecutive structured records."""
+    return max(1, value_span // max(1, n))
+
+
+def sorted_input(
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Ascending records (Figure 5.1a)."""
+    noise_rng = _noise_rng(seed, noise_seed)
+    step = _step(n, value_span)
+    for i in range(n):
+        yield _noisy(i * step, noise, noise_rng)
+
+
+def reverse_sorted_input(
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Descending records (Figure 5.1b)."""
+    noise_rng = _noise_rng(seed, noise_seed)
+    step = _step(n, value_span)
+    for i in range(n):
+        yield _noisy((n - 1 - i) * step, noise, noise_rng)
+
+
+def alternating_input(
+    n: int,
+    *,
+    sections: int = 50,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Increasing sections interleaved with decreasing ones (Figure 5.1c).
+
+    ``sections`` counts the total number of monotone sections; the paper's
+    default of 50 corresponds to 25 increasing and 25 decreasing sections.
+    Each section sweeps the full value span.
+    """
+    if sections < 1:
+        raise ValueError(f"sections must be >= 1, got {sections}")
+    noise_rng = _noise_rng(seed, noise_seed)
+    per_section = max(1, n // sections)
+    step = _step(per_section, value_span)
+    emitted = 0
+    section = 0
+    while emitted < n:
+        length = min(per_section, n - emitted)
+        ascending = section % 2 == 0
+        for i in range(length):
+            pos = i if ascending else length - 1 - i
+            yield _noisy(pos * step, noise, noise_rng)
+        emitted += length
+        section += 1
+
+
+def random_input(
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Uniformly random records (Figure 5.1d)."""
+    rng = _rng(seed)
+    noise_rng = _noise_rng(seed, noise_seed)
+    for _ in range(n):
+        yield _noisy(rng.randrange(value_span), noise, noise_rng)
+
+
+def mixed_input(
+    n: int,
+    *,
+    down_per_up: int = 1,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Interleave an increasing sequence with a decreasing one.
+
+    ``down_per_up = 1`` gives the *mixed balanced* dataset (Figure 5.1e);
+    ``down_per_up = 3`` gives *mixed imbalanced* (Figure 5.1f).  The two
+    sequences live in disjoint halves of the value span so a victim-aware
+    algorithm can capture both trends in a single run.
+    """
+    if down_per_up < 1:
+        raise ValueError(f"down_per_up must be >= 1, got {down_per_up}")
+    noise_rng = _noise_rng(seed, noise_seed)
+    group = 1 + down_per_up
+    n_up = (n + group - 1) // group
+    n_down = n - n_up
+    half = value_span // 2
+    up_step = _step(max(1, n_up), half)
+    down_step = _step(max(1, n_down), half)
+    up_i = 0
+    down_i = 0
+    emitted = 0
+    while emitted < n:
+        if emitted % group == 0 and up_i < n_up:
+            # Increasing sequence in the lower half of the span.
+            yield _noisy(up_i * up_step, noise, noise_rng)
+            up_i += 1
+        else:
+            # Decreasing sequence in the upper half of the span.
+            yield _noisy(value_span - 1 - down_i * down_step, noise, noise_rng)
+            down_i += 1
+        emitted += 1
+
+
+def mixed_balanced_input(
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Mixed balanced dataset (Figure 5.1e): 1 up record per 1 down record."""
+    return mixed_input(
+        n,
+        down_per_up=1,
+        seed=seed,
+        noise_seed=noise_seed,
+        noise=noise,
+        value_span=value_span,
+    )
+
+
+def mixed_imbalanced_input(
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = 0,
+    value_span: int = DEFAULT_VALUE_SPAN,
+) -> Iterator[int]:
+    """Mixed imbalanced dataset (Figure 5.1f): 1 up record per 3 down."""
+    return mixed_input(
+        n,
+        down_per_up=3,
+        seed=seed,
+        noise_seed=noise_seed,
+        noise=noise,
+        value_span=value_span,
+    )
+
+
+Generator = Callable[..., Iterator[int]]
+
+#: Name -> generator registry used by the experiment harnesses.  Keys are
+#: the paper's dataset names.
+DISTRIBUTIONS: Dict[str, Generator] = {
+    "sorted": sorted_input,
+    "reverse_sorted": reverse_sorted_input,
+    "alternating": alternating_input,
+    "random": random_input,
+    "mixed_balanced": mixed_balanced_input,
+    "mixed_imbalanced": mixed_imbalanced_input,
+}
+
+
+def make_input(
+    name: str,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    noise_seed: Optional[int] = None,
+    noise: int = DEFAULT_NOISE,
+    **kwargs,
+) -> Iterator[int]:
+    """Instantiate a named distribution from :data:`DISTRIBUTIONS`.
+
+    Unlike the raw generators, noise defaults to the paper's 1..1000 so
+    that seeded replicates differ (Section 5.2).
+    """
+    try:
+        generator = DISTRIBUTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise ValueError(f"unknown distribution {name!r}; known: {known}") from None
+    return generator(n, seed=seed, noise_seed=noise_seed, noise=noise, **kwargs)

@@ -1,0 +1,117 @@
+"""Tests for the adaptive heuristic and config advisor (Section 7.1)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveInput,
+    Trend,
+    classify_trend,
+    recommend_config,
+)
+from repro.core.config import RECOMMENDED, TwoWayConfig
+from repro.core.heuristics import HeuristicContext, Side, make_input_heuristic
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.workloads.generators import DISTRIBUTIONS, make_input
+
+
+def ctx(**overrides):
+    defaults = dict(rng=random.Random(0))
+    defaults.update(overrides)
+    return HeuristicContext(**defaults)
+
+
+class TestClassifyTrend:
+    def test_ascending(self):
+        assert classify_trend(list(range(20))) is Trend.ASCENDING
+
+    def test_descending(self):
+        assert classify_trend(list(range(20, 0, -1))) is Trend.DESCENDING
+
+    def test_random_is_unstructured(self):
+        rng = random.Random(1)
+        sample = [rng.random() for _ in range(50)]
+        assert classify_trend(sample) is Trend.UNSTRUCTURED
+
+    def test_alternating_is_unstructured(self):
+        sample = [0, 9, 1, 8, 2, 7, 3, 6]
+        assert classify_trend(sample) is Trend.UNSTRUCTURED
+
+    def test_tiny_sample_is_unstructured(self):
+        assert classify_trend([1, 2]) is Trend.UNSTRUCTURED
+
+    def test_threshold_controls_sensitivity(self):
+        noisy_up = [0, 1, 0, 2, 3, 2, 4, 5, 4, 6, 7, 6, 8]
+        assert classify_trend(noisy_up, threshold=0.3) is Trend.ASCENDING
+        assert classify_trend(noisy_up, threshold=0.9) is Trend.UNSTRUCTURED
+
+
+class TestAdaptiveInput:
+    def test_registered(self):
+        assert isinstance(make_input_heuristic("adaptive"), AdaptiveInput)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveInput(threshold=0.0)
+
+    def test_ascending_sample_routes_top(self):
+        h = AdaptiveInput()
+        side = h.choose(5, ctx(input_sample=list(range(16))))
+        assert side is Side.TOP
+        assert h.last_trend is Trend.ASCENDING
+
+    def test_descending_sample_routes_bottom(self):
+        h = AdaptiveInput()
+        side = h.choose(5, ctx(input_sample=list(range(16, 0, -1))))
+        assert side is Side.BOTTOM
+        assert h.last_trend is Trend.DESCENDING
+
+    def test_unstructured_falls_back_to_mean(self):
+        h = AdaptiveInput()
+        context = ctx(input_sample=[5, 1, 9, 2, 8], input_mean=5.0)
+        assert h.choose(9, context) is Side.TOP
+        assert h.choose(1, context) is Side.BOTTOM
+
+    @pytest.mark.parametrize("dataset", sorted(DISTRIBUTIONS))
+    def test_correct_runs_on_every_distribution(self, dataset):
+        config = TwoWayConfig(input_heuristic="adaptive")
+        data = list(make_input(dataset, 4_000, seed=3))
+        algo = TwoWayReplacementSelection(200, config)
+        runs = list(algo.generate_runs(data))
+        for run in runs:
+            assert run == sorted(run)
+        assert sorted(itertools.chain(*runs)) == sorted(data)
+
+    def test_single_run_on_monotone_inputs(self):
+        config = TwoWayConfig(input_heuristic="adaptive")
+        for dataset in ("sorted", "reverse_sorted"):
+            data = list(make_input(dataset, 4_000, seed=3))
+            algo = TwoWayReplacementSelection(200, config)
+            assert algo.count_runs(data) == 1, dataset
+
+
+class TestRecommendConfig:
+    def test_none_gives_recommended(self):
+        assert recommend_config(None) == RECOMMENDED
+
+    def test_random_minimises_buffers(self):
+        config = recommend_config("random")
+        assert config.buffer_fraction < RECOMMENDED.buffer_fraction
+
+    def test_mixed_uses_both_buffers_large(self):
+        config = recommend_config("mixed_balanced")
+        assert config.buffer_setup == "both"
+        assert config.buffer_fraction >= 0.2
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            recommend_config("zipf")
+
+    def test_recommendations_beat_recommended_where_claimed(self):
+        """The mixed-tuned config is at least as good as the default."""
+        data = list(make_input("mixed_balanced", 20_000, seed=2))
+        tuned = TwoWayReplacementSelection(500, recommend_config("mixed_balanced"))
+        default = TwoWayReplacementSelection(500, RECOMMENDED)
+        assert tuned.count_runs(data) <= default.count_runs(iter(data))

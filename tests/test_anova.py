@@ -1,0 +1,203 @@
+"""Tests for the ANOVA machinery (Appendix B)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.stats.anova import (
+    Factor,
+    FactorialDesign,
+    all_main_effects,
+    anova,
+    first_order_interactions,
+    one_way_anova,
+    wls_weights_by_factor,
+)
+
+
+def two_factor_design(effect_a=None, effect_b=None, noise=0.5, reps=6, seed=0):
+    rng = np.random.default_rng(seed)
+    fa = Factor("a", ("x", "y", "z"))
+    fb = Factor("b", ("p", "q"))
+    design = FactorialDesign([fa, fb])
+    effect_a = effect_a or {"x": 0.0, "y": 2.0, "z": 4.0}
+    effect_b = effect_b or {"p": 0.0, "q": 1.0}
+    for a in fa.levels:
+        for b in fb.levels:
+            for _ in range(reps):
+                value = 10 + effect_a[a] + effect_b[b] + rng.normal(0, noise)
+                design.add((a, b), value)
+    return design
+
+
+class TestFactor:
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            Factor("a", ("only",))
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("a", ("x", "x"))
+
+
+class TestFactorialDesign:
+    def test_add_and_len(self):
+        design = two_factor_design()
+        assert len(design) == 36
+
+    def test_unknown_level_rejected(self):
+        design = FactorialDesign([Factor("a", ("x", "y"))])
+        with pytest.raises(ValueError, match="unknown level"):
+            design.add(("zzz",), 1.0)
+
+    def test_wrong_arity_rejected(self):
+        design = FactorialDesign([Factor("a", ("x", "y"))])
+        with pytest.raises(ValueError, match="expected 1 levels"):
+            design.add(("x", "y"), 1.0)
+
+    def test_level_means(self):
+        design = FactorialDesign([Factor("a", ("x", "y"))])
+        design.add(("x",), 1.0)
+        design.add(("x",), 3.0)
+        design.add(("y",), 10.0)
+        assert design.level_means("a") == {"x": 2.0, "y": 10.0}
+
+    def test_group_means(self):
+        design = two_factor_design(noise=0.0)
+        means = design.group_means(["a", "b"])
+        assert means[("x", "p")] == pytest.approx(10.0)
+        assert means[("z", "q")] == pytest.approx(15.0)
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ValueError):
+            FactorialDesign([Factor("a", ("x", "y")), Factor("a", ("p", "q"))])
+
+
+class TestAnova:
+    def test_detects_real_effects(self):
+        design = two_factor_design()
+        result = anova(design, [("a",), ("b",)])
+        assert result.term("a").is_significant()
+        assert result.term("b").is_significant()
+
+    def test_rejects_null_effects(self):
+        design = two_factor_design(
+            effect_a={"x": 0, "y": 0, "z": 0}, effect_b={"p": 0, "q": 0}
+        )
+        result = anova(design, [("a",), ("b",)])
+        assert not result.term("a").is_significant()
+        assert not result.term("b").is_significant()
+
+    def test_r_squared_high_for_strong_effects(self):
+        design = two_factor_design(noise=0.1)
+        result = anova(design, [("a",), ("b",)])
+        assert result.r_squared > 0.95
+
+    def test_matches_scipy_one_way(self):
+        rng = np.random.default_rng(1)
+        factor = Factor("g", ("a", "b", "c"))
+        design = FactorialDesign([factor])
+        groups = []
+        for level, shift in zip(factor.levels, (0.0, 1.0, 0.5)):
+            values = 5 + shift + rng.normal(0, 1, size=12)
+            groups.append(values)
+            for value in values:
+                design.add((level,), value)
+        ours = one_way_anova(design, "g").term("g")
+        f_ref, p_ref = sstats.f_oneway(*groups)
+        assert ours.f_value == pytest.approx(f_ref, rel=1e-9)
+        assert ours.significance == pytest.approx(p_ref, rel=1e-9)
+
+    def test_interaction_detected(self):
+        rng = np.random.default_rng(2)
+        fa = Factor("a", ("x", "y"))
+        fb = Factor("b", ("p", "q"))
+        design = FactorialDesign([fa, fb])
+        for a in fa.levels:
+            for b in fb.levels:
+                # Pure interaction: effect only when levels "agree".
+                bump = 3.0 if (a == "x") == (b == "p") else 0.0
+                for _ in range(8):
+                    design.add((a, b), bump + rng.normal(0, 0.3))
+        result = anova(design, [("a",), ("b",), ("a", "b")])
+        assert result.term("a", "b").is_significant()
+        assert result.term("a", "b").f_value > result.term("a").f_value
+
+    def test_balanced_ss_decomposition(self):
+        design = two_factor_design()
+        result = anova(design, [("a",), ("b",), ("a", "b")])
+        decomposed = sum(t.sum_squares for t in result.terms) + result.residual_ss
+        assert decomposed == pytest.approx(result.total_ss, rel=1e-9)
+
+    def test_df_accounting(self):
+        design = two_factor_design(reps=4)
+        result = anova(design, [("a",), ("b",), ("a", "b")])
+        assert result.term("a").df == 2
+        assert result.term("b").df == 1
+        assert result.term("a", "b").df == 2
+        assert result.residual_df == len(design) - 1 - 5
+
+    def test_saturated_model_rejected(self):
+        design = FactorialDesign([Factor("a", ("x", "y"))])
+        design.add(("x",), 1.0)
+        design.add(("y",), 2.0)
+        with pytest.raises(ValueError, match="saturated"):
+            anova(design, [("a",)])
+
+    def test_duplicate_terms_rejected(self):
+        design = two_factor_design()
+        with pytest.raises(ValueError, match="duplicate"):
+            anova(design, [("a",), ("a",)])
+
+    def test_empty_design_rejected(self):
+        design = FactorialDesign([Factor("a", ("x", "y"))])
+        with pytest.raises(ValueError):
+            anova(design, [("a",)])
+
+    def test_format_table_contains_stats(self):
+        result = anova(two_factor_design(), [("a",)])
+        text = result.format_table()
+        assert "R2" in text
+        assert "CV" in text
+        assert "a" in text
+
+
+class TestWls:
+    def test_weights_inverse_variance(self):
+        rng = np.random.default_rng(3)
+        factor = Factor("j", ("small", "large"))
+        design = FactorialDesign([factor])
+        for _ in range(20):
+            design.add(("small",), rng.normal(10, 0.1))
+            design.add(("large",), rng.normal(20, 5.0))
+        weights = wls_weights_by_factor(design, "j")
+        variances = design.level_variances("j")
+        # Low-variance observations get proportionally higher weight.
+        ratio = weights[0] / weights[1]
+        assert ratio == pytest.approx(
+            variances["large"] / variances["small"], rel=1e-6
+        )
+
+    def test_wls_model_detects_effect_under_heteroscedasticity(self):
+        rng = np.random.default_rng(4)
+        fj = Factor("j", ("a", "b"))
+        fk = Factor("k", ("u", "v"))
+        design = FactorialDesign([fj, fk])
+        for j, sigma in (("a", 0.1), ("b", 4.0)):
+            for k, shift in (("u", 0.0), ("v", 1.0)):
+                for _ in range(15):
+                    design.add((j, k), 10 + shift + rng.normal(0, sigma))
+        weights = wls_weights_by_factor(design, "j")
+        result = anova(design, [("j",), ("k",)], weights=weights)
+        assert result.weighted
+        assert result.term("k").is_significant()
+
+
+class TestHelpers:
+    def test_all_main_effects(self):
+        design = two_factor_design()
+        assert all_main_effects(design) == [("a",), ("b",)]
+
+    def test_first_order_interactions(self):
+        design = two_factor_design()
+        assert first_order_interactions(design) == [("a", "b")]

@@ -1,0 +1,73 @@
+"""Tests for batched replacement selection (Section 3.7.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runs.batched import BatchedReplacementSelection
+from repro.runs.replacement_selection import ReplacementSelection
+from repro.workloads.generators import random_input, sorted_input
+
+
+class TestBatched:
+    def test_empty(self):
+        brs = BatchedReplacementSelection(100, minirun_length=10)
+        assert list(brs.generate_runs([])) == []
+
+    def test_invalid_minirun(self):
+        with pytest.raises(ValueError):
+            BatchedReplacementSelection(100, minirun_length=0)
+
+    def test_minirun_capped_at_memory(self):
+        brs = BatchedReplacementSelection(8, minirun_length=1000)
+        assert brs.minirun_length == 8
+
+    def test_sorted_input_single_run(self):
+        brs = BatchedReplacementSelection(100, minirun_length=10)
+        runs = list(brs.generate_runs(sorted_input(2_000)))
+        assert len(runs) == 1
+
+    def test_runs_sorted_and_complete(self):
+        data = list(random_input(5_000, seed=2))
+        brs = BatchedReplacementSelection(200, minirun_length=20)
+        runs = list(brs.generate_runs(data))
+        for run in runs:
+            assert run == sorted(run)
+        assert sorted(itertools.chain(*runs)) == sorted(data)
+
+    def test_heap_is_smaller_than_plain_rs(self):
+        """The point of the variant: the hot heap shrinks dramatically.
+
+        (Larson's win is cache locality; with our analytic op counting
+        the minirun sorts offset the cheaper heap traversals, so we
+        assert the structural property plus comparable total cost.)
+        """
+        brs = BatchedReplacementSelection(1_000, minirun_length=50)
+        assert brs.num_miniruns == 20  # heap holds 20 entries, not 1000
+        data = list(random_input(10_000, seed=4))
+        rs = ReplacementSelection(1_000)
+        list(rs.generate_runs(data))
+        list(brs.generate_runs(data))
+        assert brs.stats.cpu_ops < 2 * rs.stats.cpu_ops
+
+    def test_runs_not_much_shorter_than_rs(self):
+        data = list(random_input(10_000, seed=4))
+        rs_runs = ReplacementSelection(500).count_runs(data)
+        brs_runs = BatchedReplacementSelection(500, minirun_length=25).count_runs(data)
+        assert brs_runs <= 2 * rs_runs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), max_size=300),
+    st.integers(2, 50),
+    st.integers(1, 20),
+)
+def test_batched_correctness(data, memory, minirun):
+    brs = BatchedReplacementSelection(memory, minirun_length=minirun)
+    runs = list(brs.generate_runs(data))
+    for run in runs:
+        assert run == sorted(run)
+    assert sorted(itertools.chain(*runs)) == sorted(data)

@@ -1,0 +1,206 @@
+"""Unit and property tests for the array-backed binary heaps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heaps.binary_heap import (
+    HeapEmptyError,
+    HeapFullError,
+    MaxHeap,
+    MinHeap,
+    left_child_index,
+    parent_index,
+    right_child_index,
+)
+
+
+class TestIndexArithmetic:
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            parent_index(0)
+
+    def test_parent_of_children(self):
+        for i in range(1, 100):
+            assert parent_index(left_child_index(i)) == i
+            assert parent_index(right_child_index(i)) == i
+
+    def test_children_are_distinct(self):
+        for i in range(100):
+            assert left_child_index(i) + 1 == right_child_index(i)
+
+    def test_paper_example_labels(self):
+        # Section 3.1.2: node i has parent (i-1)//2, children 2i+1, 2i+2.
+        assert parent_index(5) == 2
+        assert left_child_index(2) == 5
+        assert right_child_index(2) == 6
+
+
+class TestMinHeapBasics:
+    def test_empty_heap_is_falsy(self):
+        assert not MinHeap()
+
+    def test_len_tracks_pushes(self):
+        heap = MinHeap()
+        for i in range(10):
+            heap.push(i)
+            assert len(heap) == i + 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(HeapEmptyError):
+            MinHeap().peek()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(HeapEmptyError):
+            MinHeap().pop()
+
+    def test_replace_empty_raises(self):
+        with pytest.raises(HeapEmptyError):
+            MinHeap().replace(1)
+
+    def test_peek_returns_min_without_removal(self):
+        heap = MinHeap([5, 3, 8])
+        assert heap.peek() == 3
+        assert len(heap) == 3
+
+    def test_pop_returns_ascending(self):
+        heap = MinHeap([5, 1, 4, 2, 3])
+        assert [heap.pop() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_drain_sorted(self):
+        heap = MinHeap([9, 7, 8])
+        assert list(heap.drain_sorted()) == [7, 8, 9]
+        assert not heap
+
+    def test_replace_pops_old_top(self):
+        heap = MinHeap([1, 5, 10])
+        assert heap.replace(7) == 1
+        assert sorted(heap.as_list()) == [5, 7, 10]
+
+    def test_pushpop_short_circuits_smaller_item(self):
+        heap = MinHeap([5, 10])
+        assert heap.pushpop(1) == 1
+        assert len(heap) == 2
+
+    def test_pushpop_on_empty(self):
+        heap = MinHeap()
+        assert heap.pushpop(3) == 3
+        assert not heap
+
+    def test_duplicates_preserved(self):
+        heap = MinHeap([2, 2, 1, 1])
+        assert list(heap.drain_sorted()) == [1, 1, 2, 2]
+
+    def test_contains(self):
+        heap = MinHeap([1, 2, 3])
+        assert 2 in heap
+        assert 9 not in heap
+
+    def test_clear(self):
+        heap = MinHeap([1, 2])
+        heap.clear()
+        assert len(heap) == 0
+
+
+class TestMaxHeap:
+    def test_pop_returns_descending(self):
+        heap = MaxHeap([5, 1, 4, 2, 3])
+        assert [heap.pop() for _ in range(5)] == [5, 4, 3, 2, 1]
+
+    def test_peek_is_max(self):
+        heap = MaxHeap([93, 88, 82, 66, 20, 42, 7])
+        assert heap.peek() == 93
+
+    def test_paper_figure_3_3_insert(self):
+        # Figure 3.3: adding 91 to the example max heap; 91 sifts to
+        # position 1 (child of the root 93).
+        heap = MaxHeap([93, 88, 82, 66, 20, 42, 7])
+        heap.push(91)
+        layout = heap.as_list()
+        assert layout[0] == 93
+        assert layout[1] == 91
+        assert heap.check_invariant()
+
+    def test_paper_figure_3_4_delete(self):
+        # Figure 3.4: deleting the top of the Figure 3.3(c) heap yields
+        # 91 at the root and a valid heap.
+        heap = MaxHeap([93, 91, 82, 88, 20, 42, 7, 66])
+        assert heap.pop() == 93
+        assert heap.peek() == 91
+        assert heap.check_invariant()
+
+
+class TestCapacity:
+    def test_push_beyond_capacity_raises(self):
+        heap = MinHeap(capacity=2)
+        heap.push(1)
+        heap.push(2)
+        with pytest.raises(HeapFullError):
+            heap.push(3)
+
+    def test_initial_items_over_capacity_raise(self):
+        with pytest.raises(HeapFullError):
+            MinHeap([1, 2, 3], capacity=2)
+
+    def test_is_full(self):
+        heap = MinHeap([1], capacity=1)
+        assert heap.is_full
+
+    def test_unbounded_is_never_full(self):
+        heap = MinHeap(range(100))
+        assert not heap.is_full
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MinHeap(capacity=-1)
+
+    def test_replace_works_at_capacity(self):
+        heap = MinHeap([1, 2], capacity=2)
+        assert heap.replace(5) == 1
+        assert heap.is_full
+
+
+@settings(max_examples=200)
+@given(st.lists(st.integers()))
+def test_minheap_pop_order_is_sorted(values):
+    heap = MinHeap(values)
+    assert list(heap.drain_sorted()) == sorted(values)
+
+
+@settings(max_examples=200)
+@given(st.lists(st.integers()))
+def test_maxheap_pop_order_is_reverse_sorted(values):
+    heap = MaxHeap(values)
+    assert list(heap.drain_sorted()) == sorted(values, reverse=True)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(), min_size=1))
+def test_heapify_establishes_invariant(values):
+    assert MinHeap(values).check_invariant()
+    assert MaxHeap(values).check_invariant()
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(), min_size=1),
+    st.lists(st.integers(), min_size=1, max_size=20),
+)
+def test_interleaved_push_pop_keeps_invariant(initial, pushes):
+    heap = MinHeap(initial)
+    for value in pushes:
+        heap.push(value)
+        heap.pop()
+        assert heap.check_invariant()
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(), min_size=1), st.integers())
+def test_replace_equals_pop_then_push(values, new):
+    a = MinHeap(values)
+    b = MinHeap(values)
+    popped_a = a.replace(new)
+    popped_b = b.pop()
+    b.push(new)
+    assert popped_a == popped_b
+    assert sorted(a.as_list()) == sorted(b.as_list())

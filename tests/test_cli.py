@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def input_file(tmp_path):
+    path = tmp_path / "input.txt"
+    values = [5, 3, 9, 1, 7, 2, 8, 4, 6, 0] * 30
+    path.write_text("\n".join(str(v) for v in values) + "\n")
+    return path, sorted(values)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort", "file.txt"])
+        assert args.algorithm == "2wrs"
+        assert args.memory == 10_000
+        assert args.input_heuristic == "mean"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--algorithm", "bogosort"])
+
+
+class TestSortCommand:
+    @pytest.mark.parametrize("algorithm", ["rs", "2wrs", "lss", "brs"])
+    def test_sorts_file(self, input_file, tmp_path, algorithm, capsys):
+        path, expected = input_file
+        out = tmp_path / "out.txt"
+        code = main(
+            [
+                "sort",
+                "--algorithm",
+                algorithm,
+                "--memory",
+                "16",
+                str(path),
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        got = [int(line) for line in out.read_text().splitlines()]
+        assert got == expected
+        assert "runs" in capsys.readouterr().err
+
+    def test_sort_to_stdout(self, input_file, capsys):
+        path, expected = input_file
+        assert main(["sort", "--memory", "16", str(path)]) == 0
+        got = [int(line) for line in capsys.readouterr().out.splitlines()]
+        assert got == expected
+
+    def test_sort_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("3\n1\n2\n"))
+        assert main(["sort", "-"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["1", "2", "3"]
+
+
+class TestRunsCommand:
+    def test_reports_all_algorithms(self, input_file, capsys):
+        path, _ = input_file
+        assert main(["runs", "--memory", "16", str(path)]) == 0
+        out = capsys.readouterr().out
+        for name in ("RS", "2WRS", "LSS", "BRS"):
+            assert name in out
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig_9_9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_polyphase_experiment(self, capsys):
+        assert main(["experiment", "table_2_1_polyphase"]) == 0
+        assert "Table 2.1" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_emits_requested_records(self, capsys):
+        assert main(["dataset", "sorted", "--records", "25"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 25
+        values = [int(v) for v in lines]
+        assert values == sorted(values)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dataset", "zipf"])

@@ -1,0 +1,88 @@
+"""Tests for the ANOVA assumption diagnostics (Appendix B.3)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.anova import Factor, FactorialDesign
+from repro.stats.diagnostics import (
+    cell_residuals,
+    check_assumptions,
+    residual_histogram,
+)
+
+
+def build_design(sigma_by_level=None, seed=0, reps=15):
+    rng = np.random.default_rng(seed)
+    fj = Factor("j", ("small", "large"))
+    fk = Factor("k", ("a", "b"))
+    design = FactorialDesign([fj, fk])
+    sigma_by_level = sigma_by_level or {"small": 1.0, "large": 1.0}
+    for j in fj.levels:
+        for k, shift in (("a", 0.0), ("b", 3.0)):
+            for _ in range(reps):
+                design.add(
+                    (j, k), 10 + shift + rng.normal(0, sigma_by_level[j])
+                )
+    return design
+
+
+class TestResiduals:
+    def test_residuals_sum_to_zero_per_cell(self):
+        design = build_design()
+        report = cell_residuals(design, ["j", "k"])
+        assert report.residuals.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_standardized_unit_scale(self):
+        design = build_design()
+        report = cell_residuals(design, ["j", "k"])
+        assert report.standardized.std(ddof=1) == pytest.approx(1.0, rel=1e-6)
+
+    def test_constant_data_zero_residuals(self):
+        design = FactorialDesign([Factor("j", ("x", "y"))])
+        for level in ("x", "y"):
+            for _ in range(5):
+                design.add((level,), 7.0)
+        report = cell_residuals(design, ["j"])
+        assert np.all(report.residuals == 0.0)
+        assert np.all(report.standardized == 0.0)
+
+    def test_histogram_covers_all_residuals(self):
+        design = build_design()
+        report = cell_residuals(design, ["j", "k"])
+        histogram = residual_histogram(report, bins=9)
+        assert sum(count for _, count in histogram) == len(report.residuals)
+
+
+class TestAssumptionChecks:
+    def test_wellbehaved_design_passes(self):
+        design = build_design()
+        report = check_assumptions(design, ["j", "k"])
+        assert report.normality_ok()
+        assert report.homoscedastic("j")
+        assert report.homoscedastic("k")
+        assert report.wls_recommended() == []
+        assert abs(report.independence_correlation) < 0.4
+
+    def test_heteroscedastic_factor_detected(self):
+        """The paper's Section 5.2.5 situation: variance depends on j."""
+        design = build_design(sigma_by_level={"small": 0.2, "large": 6.0})
+        report = check_assumptions(design, ["j", "k"])
+        assert not report.homoscedastic("j")
+        assert "j" in report.wls_recommended()
+
+    def test_nonnormal_residuals_detected(self):
+        rng = np.random.default_rng(1)
+        design = FactorialDesign([Factor("j", ("x", "y"))])
+        for level in ("x", "y"):
+            # Heavy-tailed / bimodal noise.
+            for _ in range(40):
+                design.add((level,), float(rng.choice([-5, 5]) + rng.normal(0, 0.1)))
+        report = check_assumptions(design, ["j"])
+        assert not report.normality_ok()
+
+    def test_degenerate_design_does_not_crash(self):
+        design = FactorialDesign([Factor("j", ("x", "y"))])
+        design.add(("x",), 1.0)
+        design.add(("y",), 1.0)
+        report = check_assumptions(design, ["j"])
+        assert report.normality_p == 1.0

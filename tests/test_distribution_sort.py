@@ -1,0 +1,127 @@
+"""Tests for bucket sort and external distribution sort (Section 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim.disk import DiskGeometry, DiskModel
+from repro.iosim.files import SimulatedFileSystem
+from repro.sort.distribution import (
+    ExternalDistributionSort,
+    bucket_index,
+    bucket_sort,
+    uniform_bucket_ranges,
+)
+from repro.workloads.generators import random_input
+
+
+class TestBucketRanges:
+    def test_paper_example_five_buckets(self):
+        # Figure 2.4: records 1..50 into five buckets of width 10.
+        ranges = uniform_bucket_ranges(1, 50, 5)
+        assert len(ranges) == 5
+        assert ranges[0][0] == 1
+        assert ranges[-1][1] == 50
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            uniform_bucket_ranges(0, 10, 0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_bucket_ranges(10, 0, 2)
+
+    def test_bucket_index_bounds(self):
+        assert bucket_index(0, 0, 100, 10) == 0
+        assert bucket_index(100, 0, 100, 10) == 9
+        assert bucket_index(55, 0, 100, 10) == 5
+
+    def test_bucket_index_degenerate_range(self):
+        assert bucket_index(5, 5, 5, 10) == 0
+
+
+class TestBucketSort:
+    def test_paper_example(self):
+        # Section 2.2's worked example.
+        data = [37, 2, 45, 22, 17, 12, 18, 23, 25, 42]
+        assert bucket_sort(data, num_buckets=5) == [
+            2, 12, 17, 18, 22, 23, 25, 37, 42, 45,
+        ]
+
+    def test_empty_and_single(self):
+        assert bucket_sort([]) == []
+        assert bucket_sort([7]) == [7]
+
+    def test_custom_inner_sort(self):
+        data = [3, 1, 2]
+        assert bucket_sort(data, num_buckets=2, sort=sorted) == [1, 2, 3]
+
+    def test_clustered_values(self):
+        data = [100] * 50 + [1]
+        assert bucket_sort(data, num_buckets=4) == sorted(data)
+
+
+def small_fs():
+    return SimulatedFileSystem(DiskModel(geometry=DiskGeometry(page_records=32)))
+
+
+class TestExternalDistributionSort:
+    def test_sorts_random_input(self):
+        data = list(random_input(3_000, seed=1))
+        sorter = ExternalDistributionSort(
+            fs=small_fs(), memory_capacity=200, num_buckets=8
+        )
+        out = sorter.sort(data)
+        assert out.read_all() == sorted(data)
+
+    def test_small_input_sorted_internally(self):
+        sorter = ExternalDistributionSort(fs=small_fs(), memory_capacity=100)
+        out = sorter.sort([5, 1, 3])
+        assert out.read_all() == [1, 3, 5]
+
+    def test_all_equal_keys(self):
+        sorter = ExternalDistributionSort(
+            fs=small_fs(), memory_capacity=10, num_buckets=4
+        )
+        out = sorter.sort([7] * 100)
+        assert out.read_all() == [7] * 100
+
+    def test_clustered_data_recurses(self):
+        # Heavy clustering sends almost everything to one bucket.
+        data = [10] * 500 + list(range(500))
+        sorter = ExternalDistributionSort(
+            fs=small_fs(), memory_capacity=50, num_buckets=4
+        )
+        out = sorter.sort(data)
+        assert out.read_all() == sorted(data)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExternalDistributionSort(memory_capacity=0)
+        with pytest.raises(ValueError):
+            ExternalDistributionSort(num_buckets=1)
+
+    def test_charges_io(self):
+        fs = small_fs()
+        sorter = ExternalDistributionSort(fs=fs, memory_capacity=100)
+        sorter.sort(list(random_input(2_000, seed=2)))
+        assert fs.disk.elapsed > 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-10_000, 10_000), max_size=400))
+def test_bucket_sort_equals_sorted(data):
+    assert bucket_sort(data, num_buckets=7) == sorted(data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), max_size=300),
+    st.integers(5, 60),
+    st.integers(2, 8),
+)
+def test_external_distribution_sort_correct(data, memory, buckets):
+    sorter = ExternalDistributionSort(
+        fs=small_fs(), memory_capacity=memory, num_buckets=buckets
+    )
+    assert sorter.sort(data).read_all() == sorted(data)

@@ -1,0 +1,141 @@
+"""Integration tests for the full external-sort pipeline (Chapters 2, 6)."""
+
+import pytest
+
+from repro.core.config import RECOMMENDED
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.iosim.disk import DiskGeometry, DiskModel
+from repro.iosim.files import SimulatedFileSystem
+from repro.runs.load_sort_store import LoadSortStore
+from repro.runs.replacement_selection import ReplacementSelection
+from repro.sort.external import ExternalSort
+from repro.workloads.generators import (
+    make_input,
+    mixed_balanced_input,
+    random_input,
+    reverse_sorted_input,
+)
+
+
+def small_fs():
+    return SimulatedFileSystem(
+        DiskModel(geometry=DiskGeometry(page_records=64))
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "generator_factory",
+        [
+            lambda: ReplacementSelection(200),
+            lambda: TwoWayReplacementSelection(200, RECOMMENDED),
+            lambda: LoadSortStore(200),
+        ],
+        ids=["RS", "2WRS", "LSS"],
+    )
+    def test_sorts_random_input(self, generator_factory):
+        data = list(random_input(5_000, seed=1))
+        pipeline = ExternalSort(generator_factory(), fs=small_fs(), fan_in=4)
+        out, report = pipeline.sort(data)
+        assert out.read_all() == sorted(data)
+        assert report.records == 5_000
+
+    @pytest.mark.parametrize(
+        "dataset",
+        ["sorted", "reverse_sorted", "alternating", "mixed_balanced"],
+    )
+    def test_sorts_every_distribution_with_2wrs(self, dataset):
+        data = list(make_input(dataset, 4_000, seed=2))
+        generator = TwoWayReplacementSelection(150, RECOMMENDED)
+        pipeline = ExternalSort(generator, fs=small_fs(), fan_in=4)
+        out, _ = pipeline.sort(data)
+        assert out.read_all() == sorted(data)
+
+    def test_empty_input(self):
+        pipeline = ExternalSort(ReplacementSelection(10), fs=small_fs())
+        out, report = pipeline.sort([])
+        assert out.read_all() == []
+        assert report.runs == 0
+
+    def test_input_fits_in_memory(self):
+        pipeline = ExternalSort(ReplacementSelection(100), fs=small_fs())
+        out, report = pipeline.sort([3, 1, 2])
+        assert out.read_all() == [1, 2, 3]
+        assert report.runs == 1
+
+    def test_pipeline_reusable_for_multiple_sorts(self):
+        pipeline = ExternalSort(ReplacementSelection(50), fs=small_fs())
+        first, _ = pipeline.sort(list(range(200, 0, -1)))
+        second, _ = pipeline.sort([5, 1, 9])
+        assert first.read_all() == list(range(1, 201))
+        assert second.read_all() == [1, 5, 9]
+
+
+class TestReporting:
+    def test_report_phases_have_positive_time(self):
+        data = list(random_input(5_000, seed=1))
+        pipeline = ExternalSort(ReplacementSelection(100), fs=small_fs())
+        _, report = pipeline.sort(data)
+        assert report.run_phase.time > 0
+        assert report.merge_phase.time > 0
+        assert report.total_time == pytest.approx(
+            report.run_phase.time + report.merge_phase.time
+        )
+
+    def test_report_counts_runs(self):
+        data = list(reverse_sorted_input(2_000))
+        pipeline = ExternalSort(ReplacementSelection(100), fs=small_fs())
+        _, report = pipeline.sort(data)
+        assert report.runs == 20
+        assert report.average_run_length == pytest.approx(100.0)
+
+    def test_cpu_time_scales_with_op_cost(self):
+        data = list(random_input(2_000, seed=1))
+        slow = ExternalSort(
+            ReplacementSelection(100), fs=small_fs(), cpu_op_time=1e-6
+        )
+        _, slow_report = slow.sort(data)
+        fast = ExternalSort(
+            ReplacementSelection(100), fs=small_fs(), cpu_op_time=1e-9
+        )
+        _, fast_report = fast.sort(data)
+        assert slow_report.run_phase.cpu_time > fast_report.run_phase.cpu_time
+        assert slow_report.run_phase.cpu_ops == fast_report.run_phase.cpu_ops
+
+
+class TestPaperShapes:
+    def test_reverse_sorted_2wrs_beats_rs(self):
+        """Figure 6.7's claim at test scale."""
+        data = list(reverse_sorted_input(20_000, seed=1))
+        _, rs = ExternalSort(
+            ReplacementSelection(500), fs=small_fs()
+        ).sort(data)
+        _, twrs = ExternalSort(
+            TwoWayReplacementSelection(500, RECOMMENDED), fs=small_fs()
+        ).sort(data)
+        assert twrs.runs == 1
+        assert twrs.total_time < rs.total_time
+
+    def test_mixed_2wrs_beats_rs(self):
+        """Figure 6.4's claim at test scale."""
+        data = list(mixed_balanced_input(20_000, seed=1, noise=1000))
+        _, rs = ExternalSort(
+            ReplacementSelection(500), fs=small_fs()
+        ).sort(data)
+        _, twrs = ExternalSort(
+            TwoWayReplacementSelection(500, RECOMMENDED), fs=small_fs()
+        ).sort(data)
+        assert twrs.runs < rs.runs
+        assert twrs.total_time < rs.total_time
+
+    def test_2wrs_persists_decreasing_streams_reversed(self):
+        """Reverse-file chunks appear on disk for decreasing streams."""
+        fs = small_fs()
+        data = list(reverse_sorted_input(3_000, seed=1))
+        pipeline = ExternalSort(
+            TwoWayReplacementSelection(200, RECOMMENDED), fs=fs
+        )
+        out, report = pipeline.sort(data)
+        assert out.read_all() == sorted(data)
+        # The run phase wrote pages (runs hit the disk, not memory).
+        assert report.run_phase.disk.pages_written > 0

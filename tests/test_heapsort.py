@@ -1,0 +1,64 @@
+"""Tests for heapsort (Section 3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heaps.heapsort import heapsort, heapsort_inplace
+
+
+class TestHeapsort:
+    def test_empty(self):
+        assert heapsort([]) == []
+
+    def test_single(self):
+        assert heapsort([42]) == [42]
+
+    def test_basic(self):
+        assert heapsort([3, 1, 2]) == [1, 2, 3]
+
+    def test_already_sorted(self):
+        assert heapsort(range(10)) == list(range(10))
+
+    def test_reverse_sorted(self):
+        assert heapsort(range(9, -1, -1)) == list(range(10))
+
+    def test_duplicates(self):
+        assert heapsort([2, 2, 1]) == [1, 2, 2]
+
+    def test_with_key(self):
+        records = [("b", 2), ("a", 3), ("c", 1)]
+        assert heapsort(records, key=lambda r: r[1]) == [
+            ("c", 1),
+            ("b", 2),
+            ("a", 3),
+        ]
+
+    def test_key_sort_is_stable_under_ties(self):
+        records = [("first", 1), ("second", 1)]
+        assert heapsort(records, key=lambda r: r[1]) == records
+
+    def test_accepts_iterator(self):
+        assert heapsort(iter([3, 1])) == [1, 3]
+
+
+class TestHeapsortInplace:
+    def test_sorts_and_returns_same_list(self):
+        values = [5, 2, 9]
+        result = heapsort_inplace(values)
+        assert result is values
+        assert values == [2, 5, 9]
+
+    def test_empty(self):
+        assert heapsort_inplace([]) == []
+
+
+@settings(max_examples=200)
+@given(st.lists(st.integers()))
+def test_heapsort_equals_sorted(values):
+    assert heapsort(values) == sorted(values)
+
+
+@settings(max_examples=200)
+@given(st.lists(st.floats(allow_nan=False)))
+def test_heapsort_inplace_equals_sorted(values):
+    assert heapsort_inplace(list(values)) == sorted(values)

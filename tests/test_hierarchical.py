@@ -1,0 +1,123 @@
+"""Tests for hierarchical-data sorting (Section 3.7.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sort.hierarchical import HierarchicalSorter, TreeNode, parse, serialize
+
+
+def random_tree(rng, depth=3, breadth=6):
+    node = TreeNode(rng.randrange(1_000))
+    if depth > 0:
+        for _ in range(rng.randrange(breadth)):
+            node.children.append(random_tree(rng, depth - 1, breadth))
+    return node
+
+
+class TestTreeNode:
+    def test_descendant_count(self):
+        root = TreeNode(0)
+        a = root.add(TreeNode(1))
+        a.add(TreeNode(2))
+        root.add(TreeNode(3))
+        assert root.descendant_count() == 3
+
+    def test_is_sorted_detects_disorder(self):
+        root = TreeNode(0)
+        root.add(TreeNode(5))
+        root.add(TreeNode(1))
+        assert not root.is_sorted()
+
+    def test_is_sorted_checks_recursively(self):
+        root = TreeNode(0)
+        child = root.add(TreeNode(1))
+        child.add(TreeNode(9))
+        child.add(TreeNode(2))
+        assert not root.is_sorted()
+
+
+class TestHierarchicalSorter:
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            HierarchicalSorter(0)
+
+    def test_sorts_small_tree_internally(self):
+        root = TreeNode("r")
+        for key in (5, 1, 3):
+            root.add(TreeNode(key))
+        sorter = HierarchicalSorter(memory_capacity=100)
+        out = sorter.sort(root)
+        assert [c.key for c in out.children] == [1, 3, 5]
+        assert sorter.external_sorts == 0
+
+    def test_large_sibling_lists_go_external(self):
+        rng = random.Random(1)
+        root = TreeNode("r")
+        for _ in range(5_000):
+            root.add(TreeNode(rng.randrange(10**6)))
+        sorter = HierarchicalSorter(memory_capacity=256)
+        out = sorter.sort(root)
+        assert out.is_sorted()
+        assert sorter.external_sorts >= 1
+
+    def test_preserves_node_count_and_data(self):
+        rng = random.Random(2)
+        root = random_tree(rng)
+        root.data = "payload"
+        out = HierarchicalSorter(64).sort(root)
+        assert out.descendant_count() == root.descendant_count()
+        assert out.data == "payload"
+
+    def test_original_tree_untouched(self):
+        root = TreeNode("r")
+        root.add(TreeNode(9))
+        root.add(TreeNode(1))
+        before = [c.key for c in root.children]
+        HierarchicalSorter(10).sort(root)
+        assert [c.key for c in root.children] == before
+
+    def test_duplicate_keys(self):
+        root = TreeNode("r")
+        for key in (3, 1, 3, 1):
+            root.add(TreeNode(key))
+        out = HierarchicalSorter(2).sort(root)
+        assert [c.key for c in out.children] == [1, 1, 3, 3]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tree = TreeNode(5, data="hello")
+        tree.add(TreeNode(3))
+        tree.add(TreeNode(9)).add(TreeNode(1))
+        assert parse(serialize(tree)) == tree
+
+    def test_string_keys(self):
+        tree = TreeNode("book", data="title")
+        tree.add(TreeNode("chapter"))
+        assert parse(serialize(tree)) == tree
+
+    def test_mismatched_tags(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            parse("<a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse("<a>")
+
+    def test_trailing_content(self):
+        with pytest.raises(ValueError, match="trailing"):
+            parse("<a></a><b></b>")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31), st.integers(1, 64))
+def test_sorting_any_random_tree(seed, memory):
+    rng = random.Random(seed)
+    root = random_tree(rng)
+    sorter = HierarchicalSorter(memory)
+    out = sorter.sort(root)
+    assert out.is_sorted()
+    assert out.descendant_count() == root.descendant_count()

@@ -1,0 +1,79 @@
+"""Tests for the FIFO input buffer (Section 4.2)."""
+
+import pytest
+
+from repro.core.input_buffer import SHADOW_WINDOW, InputBuffer
+
+
+class TestFifo:
+    def test_preserves_order(self):
+        buffer = InputBuffer(iter([1, 2, 3, 4]), capacity=2)
+        assert [buffer.next() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_eof_returns_none(self):
+        buffer = InputBuffer(iter([1]), capacity=4)
+        assert buffer.next() == 1
+        assert buffer.next() is None
+
+    def test_bool_reflects_availability(self):
+        buffer = InputBuffer(iter([1]), capacity=1)
+        assert buffer
+        buffer.next()
+        assert buffer.next() is None
+        assert not buffer
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            InputBuffer(iter([]), capacity=-1)
+
+    def test_records_read_counter(self):
+        buffer = InputBuffer(iter(range(10)), capacity=3)
+        assert buffer.records_read == 3  # eager prefetch
+        buffer.next()
+        assert buffer.records_read == 4
+
+
+class TestStatistics:
+    def test_mean_of_buffer_contents(self):
+        buffer = InputBuffer(iter([40, 50, 39, 51, 99]), capacity=4)
+        # Paper example (Section 4.5): mean of {40, 50, 39, 51} = 45.
+        assert buffer.mean() == pytest.approx(45.0)
+
+    def test_mean_advances_with_fifo(self):
+        buffer = InputBuffer(iter([40, 50, 39, 51, 38]), capacity=4)
+        buffer.next()  # consume 40, prefetch 38
+        assert buffer.mean() == pytest.approx((50 + 39 + 51 + 38) / 4)
+
+    def test_median_lower_middle(self):
+        buffer = InputBuffer(iter([1, 3, 5, 7]), capacity=4)
+        assert buffer.median() == 3
+
+    def test_median_odd(self):
+        buffer = InputBuffer(iter([9, 1, 5]), capacity=3)
+        assert buffer.median() == 5
+
+    def test_empty_source_statistics_none(self):
+        buffer = InputBuffer(iter([]), capacity=4)
+        assert buffer.mean() is None
+        assert buffer.median() is None
+
+
+class TestShadowWindow:
+    def test_zero_capacity_passthrough(self):
+        buffer = InputBuffer(iter([3, 1, 2]), capacity=0)
+        assert [buffer.next() for _ in range(3)] == [3, 1, 2]
+
+    def test_zero_capacity_keeps_sample(self):
+        buffer = InputBuffer(iter(range(100)), capacity=0)
+        for _ in range(50):
+            buffer.next()
+        sample = buffer.sample()
+        assert len(sample) == SHADOW_WINDOW
+        assert sample == list(range(50 - SHADOW_WINDOW, 50))
+
+    def test_zero_capacity_mean_defined_after_reads(self):
+        buffer = InputBuffer(iter([10, 20]), capacity=0)
+        buffer.next()
+        assert buffer.mean() == pytest.approx(10.0)
+        buffer.next()
+        assert buffer.mean() == pytest.approx(15.0)

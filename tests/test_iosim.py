@@ -1,0 +1,241 @@
+"""Tests for the simulated disk, files, and reverse-file format."""
+
+import pytest
+
+from repro.iosim.disk import DiskGeometry, DiskModel
+from repro.iosim.files import SimulatedFileSystem
+from repro.iosim.reverse_file import ReverseRunReader, ReverseRunWriter
+
+
+def small_fs(page_records=8, write_cache=True):
+    geometry = DiskGeometry(page_records=page_records)
+    return SimulatedFileSystem(DiskModel(geometry=geometry, write_cache=write_cache))
+
+
+class TestDiskModel:
+    def test_first_access_is_random(self):
+        disk = DiskModel()
+        disk.read_page(0)
+        assert disk.stats.random_accesses == 1
+        assert disk.stats.sequential_accesses == 0
+
+    def test_forward_adjacent_read_is_sequential(self):
+        disk = DiskModel()
+        disk.read_page(10)
+        disk.read_page(11)
+        assert disk.stats.sequential_accesses == 1
+
+    def test_backward_read_is_random(self):
+        disk = DiskModel()
+        disk.read_page(10)
+        disk.read_page(9)
+        assert disk.stats.random_accesses == 2
+
+    def test_backward_adjacent_write_uses_cache(self):
+        disk = DiskModel(write_cache=True)
+        disk.write_page(10)
+        disk.write_page(9)
+        assert disk.stats.sequential_accesses == 1
+
+    def test_backward_write_without_cache_is_random(self):
+        disk = DiskModel(write_cache=False)
+        disk.write_page(10)
+        disk.write_page(9)
+        assert disk.stats.random_accesses == 2
+
+    def test_elapsed_accumulates(self):
+        geometry = DiskGeometry()
+        disk = DiskModel(geometry=geometry)
+        disk.read_page(0)
+        disk.read_page(1)
+        expected = geometry.random_access_cost() + geometry.sequential_access_cost()
+        assert disk.elapsed == pytest.approx(expected)
+
+    def test_sequential_is_cheaper(self):
+        geometry = DiskGeometry()
+        assert geometry.sequential_access_cost() < geometry.random_access_cost() / 10
+
+    def test_reset_stats_keeps_head(self):
+        disk = DiskModel()
+        disk.read_page(5)
+        disk.reset_stats()
+        disk.read_page(6)  # still sequential: head survived the reset
+        assert disk.stats.sequential_accesses == 1
+
+
+class TestSimulatedFile:
+    def test_roundtrip(self):
+        fs = small_fs()
+        handle = fs.create_from("a", range(20))
+        assert handle.read_all() == list(range(20))
+
+    def test_len_and_pages(self):
+        fs = small_fs(page_records=8)
+        handle = fs.create_from("a", range(20))
+        assert len(handle) == 20
+        assert handle.num_pages == 3  # 8 + 8 + 4
+
+    def test_read_before_close_fails(self):
+        fs = small_fs()
+        handle = fs.create("a")
+        handle.append(1)
+        with pytest.raises(ValueError, match="closed"):
+            list(handle.records())
+
+    def test_write_after_close_fails(self):
+        fs = small_fs()
+        handle = fs.create_from("a", [1])
+        with pytest.raises(ValueError):
+            handle.append(2)
+
+    def test_sequential_scan_costs_one_seek(self):
+        fs = small_fs(page_records=8)
+        handle = fs.create_from("a", range(64))
+        fs.disk.reset_stats()
+        handle.read_all()
+        assert fs.disk.stats.random_accesses <= 1
+        assert fs.disk.stats.pages_read == 8
+
+    def test_interleaved_reads_pay_seeks(self):
+        fs = small_fs(page_records=8)
+        a = fs.create_from("a", range(32))
+        b = fs.create_from("b", range(32))
+        fs.disk.reset_stats()
+        reader_a = a.records()
+        reader_b = b.records()
+        # Alternate pages between the two files.
+        for _ in range(4):
+            for _ in range(8):
+                next(reader_a)
+            for _ in range(8):
+                next(reader_b)
+        assert fs.disk.stats.random_accesses == 8
+
+    def test_records_buffered_amortises_seeks(self):
+        fs = small_fs(page_records=8)
+        a = fs.create_from("a", range(64))
+        b = fs.create_from("b", range(64))
+        fs.disk.reset_stats()
+        reader_a = a.records_buffered(4)
+        reader_b = b.records_buffered(4)
+        for _ in range(2):
+            for _ in range(32):
+                next(reader_a)
+            for _ in range(32):
+                next(reader_b)
+        # 4 refills total, one seek each, remaining pages sequential.
+        assert fs.disk.stats.random_accesses == 4
+        assert fs.disk.stats.sequential_accesses == 12
+
+    def test_write_buffer_pages_batches_writes(self):
+        fs = small_fs(page_records=8)
+        handle = fs.create("a", write_buffer_pages=4)
+        other = fs.create("b")
+        for i in range(32):
+            handle.append(i)
+            other.append(i)  # interleave to force head movement
+        handle.close()
+        other.close()
+        assert handle.read_all() == list(range(32))
+
+    def test_read_page_out_of_range(self):
+        fs = small_fs()
+        handle = fs.create_from("a", range(4))
+        with pytest.raises(IndexError):
+            handle.read_page(99)
+
+
+class TestFileSystem:
+    def test_duplicate_name_rejected(self):
+        fs = small_fs()
+        fs.create("a")
+        with pytest.raises(FileExistsError):
+            fs.create("a")
+
+    def test_open_missing(self):
+        with pytest.raises(FileNotFoundError):
+            small_fs().open("nope")
+
+    def test_delete(self):
+        fs = small_fs()
+        fs.create("a")
+        fs.delete("a")
+        assert "a" not in fs
+        with pytest.raises(FileNotFoundError):
+            fs.delete("a")
+
+    def test_disjoint_address_ranges(self):
+        fs = small_fs()
+        assert fs.allocate_base() != fs.allocate_base()
+
+
+class TestReverseRunFile:
+    def test_roundtrip_ascending(self):
+        fs = small_fs(page_records=8)
+        writer = ReverseRunWriter(fs, "rev", pages_per_file=4)
+        for value in range(99, -1, -1):  # decreasing stream
+            writer.append(value)
+        writer.close()
+        reader = ReverseRunReader(writer)
+        assert reader.read_all() == list(range(100))
+
+    def test_buffered_roundtrip(self):
+        fs = small_fs(page_records=8)
+        writer = ReverseRunWriter(fs, "rev", pages_per_file=4)
+        for value in range(49, -1, -1):
+            writer.append(value)
+        writer.close()
+        assert list(ReverseRunReader(writer).records_buffered(2)) == list(range(50))
+
+    def test_chains_multiple_files(self):
+        fs = small_fs(page_records=4)
+        writer = ReverseRunWriter(fs, "rev", pages_per_file=3)
+        # 3 pages/file with 1 header = 8 records per file; 20 records
+        # need 3 chunk files.
+        for value in range(19, -1, -1):
+            writer.append(value)
+        writer.close()
+        assert writer.num_files == 3
+        assert ReverseRunReader(writer).read_all() == list(range(20))
+
+    def test_headers_record_start_position(self):
+        fs = small_fs(page_records=4)
+        writer = ReverseRunWriter(fs, "rev", pages_per_file=3)
+        for value in range(5, 0, -1):  # 5 records: partial first page
+            writer.append(value)
+        writer.close()
+        header = writer._chunks[0].header
+        assert header is not None
+        assert header.num_pages == 3
+        assert header.start_page >= 1
+
+    def test_read_before_close_fails(self):
+        fs = small_fs()
+        writer = ReverseRunWriter(fs, "rev")
+        with pytest.raises(ValueError, match="closed"):
+            ReverseRunReader(writer)
+
+    def test_append_after_close_fails(self):
+        fs = small_fs()
+        writer = ReverseRunWriter(fs, "rev")
+        writer.append(1)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(0)
+
+    def test_too_few_pages_rejected(self):
+        with pytest.raises(ValueError):
+            ReverseRunWriter(small_fs(), "rev", pages_per_file=1)
+
+    def test_forward_read_is_mostly_sequential(self):
+        fs = small_fs(page_records=8)
+        writer = ReverseRunWriter(fs, "rev", pages_per_file=10)
+        for value in range(63, -1, -1):
+            writer.append(value)
+        writer.close()
+        fs.disk.reset_stats()
+        ReverseRunReader(writer).read_all()
+        stats = fs.disk.stats
+        # One seek for the header plus one to jump to the data start;
+        # the data pages stream sequentially.
+        assert stats.sequential_accesses >= stats.pages_read - 3

@@ -1,0 +1,101 @@
+"""Property-based tests for the simulated storage stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim.disk import DiskGeometry, DiskModel
+from repro.iosim.files import SimulatedFileSystem
+from repro.iosim.reverse_file import ReverseRunReader, ReverseRunWriter
+
+
+def make_fs(page_records):
+    geometry = DiskGeometry(page_records=page_records)
+    return SimulatedFileSystem(DiskModel(geometry=geometry))
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(), max_size=200),
+    st.integers(1, 32),
+    st.integers(1, 8),
+)
+def test_file_roundtrip_any_page_size(records, page_records, write_buffer):
+    fs = make_fs(page_records)
+    handle = fs.create("f", write_buffer_pages=write_buffer)
+    handle.extend(records)
+    handle.close()
+    assert handle.read_all() == records
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(), max_size=200),
+    st.integers(1, 32),
+    st.integers(1, 10),
+)
+def test_buffered_read_equals_plain_read(records, page_records, buffer_pages):
+    fs = make_fs(page_records)
+    handle = fs.create_from("f", records)
+    assert list(handle.records_buffered(buffer_pages)) == records
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(), min_size=1, max_size=150),
+    st.integers(1, 16),
+    st.integers(2, 8),
+)
+def test_reverse_file_roundtrip_any_geometry(values, page_records, pages_per_file):
+    descending = sorted(values, reverse=True)
+    fs = make_fs(page_records)
+    writer = ReverseRunWriter(fs, "rev", pages_per_file=pages_per_file)
+    for value in descending:
+        writer.append(value)
+    writer.close()
+    assert ReverseRunReader(writer).read_all() == sorted(values)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.integers(), min_size=1, max_size=150),
+    st.integers(1, 16),
+    st.integers(2, 8),
+    st.integers(1, 6),
+)
+def test_reverse_file_buffered_equals_plain(
+    values, page_records, pages_per_file, buffer_pages
+):
+    descending = sorted(values, reverse=True)
+    fs = make_fs(page_records)
+    writer = ReverseRunWriter(fs, "rev", pages_per_file=pages_per_file)
+    for value in descending:
+        writer.append(value)
+    writer.close()
+    reader = ReverseRunReader(writer)
+    assert list(reader.records_buffered(buffer_pages)) == sorted(values)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=60))
+def test_disk_clock_monotone(addresses):
+    disk = DiskModel()
+    last = 0.0
+    for address in addresses:
+        disk.read_page(address)
+        assert disk.elapsed >= last
+        last = disk.elapsed
+    assert disk.stats.pages_read == len(addresses)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(0, 100), min_size=2, max_size=60))
+def test_sequential_never_costlier_than_random(addresses):
+    """Reading pages in order never costs more than any other order."""
+    ordered = sorted(set(addresses))
+    disk_seq = DiskModel()
+    for index, address in enumerate(ordered):
+        disk_seq.read_page(ordered[0] + index)  # strictly contiguous
+    disk_any = DiskModel()
+    for address in ordered:
+        disk_any.read_page(address)
+    assert disk_seq.elapsed <= disk_any.elapsed + 1e-12

@@ -1,0 +1,136 @@
+"""Tests for dynamic memory adjustment (Section 3.7.3)."""
+
+import pytest
+
+from repro.sort.memory_broker import (
+    PRIORITY_ORDER,
+    ConcurrentSortSimulator,
+    MemoryBroker,
+    SortJob,
+    WaitSituation,
+)
+from repro.workloads.generators import random_input
+
+
+class TestMemoryBroker:
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            MemoryBroker(0)
+
+    def test_allocate_within_pool(self):
+        broker = MemoryBroker(100)
+        assert broker.try_allocate("a", 60)
+        assert broker.free == 40
+        assert not broker.try_allocate("b", 50)
+        assert broker.try_allocate("b", 40)
+        assert broker.free == 0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBroker(10).try_allocate("a", -1)
+
+    def test_release_partial_and_full(self):
+        broker = MemoryBroker(100)
+        broker.try_allocate("a", 80)
+        broker.release("a", 30)
+        assert broker.allocated["a"] == 50
+        broker.release("a")
+        assert "a" not in broker.allocated
+        assert broker.free == 100
+
+    def test_release_unknown_owner_is_noop(self):
+        broker = MemoryBroker(10)
+        broker.release("ghost")
+        assert broker.free == 10
+
+    def test_priority_order_matches_paper(self):
+        # Section 3.7.3: processes prioritised 1, 3, 5, 4, 2.
+        assert [s.value for s in PRIORITY_ORDER] == [1, 3, 5, 4, 2]
+
+    def test_grant_waiting_serves_by_priority(self):
+        broker = MemoryBroker(100)
+        broker.try_allocate("holder", 100)
+        broker.enqueue("later", 50, WaitSituation.FIRST_RUN_MINIMUM)
+        broker.enqueue("starter", 50, WaitSituation.ABOUT_TO_START)
+        broker.release("holder", 50)
+        granted = broker.grant_waiting()
+        assert granted == ["starter"]
+        assert broker.waiting == ["later"]
+
+    def test_fifo_within_same_situation(self):
+        broker = MemoryBroker(60)
+        broker.try_allocate("holder", 60)
+        broker.enqueue("first", 30, WaitSituation.LATER_RUNS)
+        broker.enqueue("second", 30, WaitSituation.LATER_RUNS)
+        broker.release("holder", 30)
+        assert broker.grant_waiting() == ["first"]
+
+
+def make_jobs(big=40_000, smalls=3):
+    jobs = [
+        SortJob(
+            name="big",
+            records=list(random_input(big, seed=9)),
+            minimum_memory=64,
+            maximum_memory=4_096,
+        )
+    ]
+    for i in range(smalls):
+        jobs.append(
+            SortJob(
+                name=f"small{i}",
+                records=list(random_input(1_000, seed=i)),
+                minimum_memory=64,
+                maximum_memory=512,
+            )
+        )
+    return jobs
+
+
+class TestConcurrentSimulator:
+    def test_requires_jobs(self):
+        with pytest.raises(ValueError):
+            ConcurrentSortSimulator([], total_memory=100)
+
+    def test_all_jobs_finish(self):
+        finish = ConcurrentSortSimulator(
+            make_jobs(big=5_000), total_memory=1_024, dynamic=True
+        ).run()
+        assert all(t is not None for t in finish.values())
+
+    def test_static_all_jobs_finish(self):
+        finish = ConcurrentSortSimulator(
+            make_jobs(big=5_000), total_memory=1_024, dynamic=False
+        ).run()
+        assert all(t is not None for t in finish.values())
+
+    def test_dynamic_beats_static_on_makespan(self):
+        """Zhang & Larson's headline: dynamic adjustment wins."""
+        static = ConcurrentSortSimulator(
+            make_jobs(), total_memory=2_048, dynamic=False
+        ).run()
+        dynamic = ConcurrentSortSimulator(
+            make_jobs(), total_memory=2_048, dynamic=True
+        ).run()
+        assert max(dynamic.values()) < max(static.values())
+
+    def test_dynamic_grows_allocations(self):
+        jobs = make_jobs(big=10_000, smalls=1)
+        sim = ConcurrentSortSimulator(jobs, total_memory=2_048, dynamic=True)
+        sim.run()
+        big = jobs[0]
+        # Later runs are longer than the first (memory grew over time).
+        assert max(big.runs) > big.runs[0]
+
+    def test_single_job_gets_whole_pool_dynamic(self):
+        jobs = [
+            SortJob(
+                name="only",
+                records=list(random_input(5_000, seed=1)),
+                minimum_memory=64,
+                maximum_memory=10_000,
+            )
+        ]
+        sim = ConcurrentSortSimulator(jobs, total_memory=1_024, dynamic=True)
+        sim.run()
+        assert max(jobs[0].runs) >= 512

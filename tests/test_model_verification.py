@@ -1,0 +1,52 @@
+"""Tests for the closed-form verification of the stable solution (§3.6.1)."""
+
+import math
+
+import pytest
+
+from repro.model.verification import (
+    stable_m,
+    stable_p,
+    stable_run_length,
+    verify_stable_solution,
+)
+
+
+class TestStableSolution:
+    def test_p_is_half_t(self):
+        assert stable_p(4.0) == 2.0
+
+    def test_m_at_run_start_is_2_minus_2x(self):
+        # Just after a run boundary the front sits at 0 and the density
+        # is the paper's 2 - 2x.
+        for x in (0.0, 0.25, 0.5, 0.75, 0.99):
+            assert stable_m(x, 0.0) == pytest.approx(2.0 - 2.0 * x)
+
+    def test_m_rejects_out_of_range_x(self):
+        with pytest.raises(ValueError):
+            stable_m(1.0, 0.0)
+        with pytest.raises(ValueError):
+            stable_m(-0.1, 0.0)
+
+    def test_m_is_2_at_the_front(self):
+        for t in (0.3, 0.9, 1.7, 2.4):
+            front = stable_p(t) - math.floor(stable_p(t))
+            assert stable_m(front, t) == pytest.approx(2.0)
+
+    def test_m_periodic_in_t(self):
+        for x in (0.2, 0.6):
+            assert stable_m(x, 0.5) == pytest.approx(stable_m(x, 2.5))
+
+
+class TestEquationChecks:
+    def test_all_four_equations_hold(self):
+        report = verify_stable_solution()
+        assert report.equation_3_9_speed < 1e-6
+        assert report.equation_3_10_jump < 1e-4
+        assert report.equation_3_11_inflow < 1e-6
+        assert report.equation_3_12_memory < 1e-2
+        assert report.max_violation() < 1e-2
+
+    def test_run_length_is_two(self):
+        # Section 3.6.1: the path integral over one run evaluates to 2.
+        assert stable_run_length() == pytest.approx(2.0, abs=0.01)

@@ -1,0 +1,107 @@
+"""End-to-end invariants across the whole library.
+
+Property-based integration tests: every run generator, pushed through
+the full external-sort pipeline over the simulated disk, must produce
+exactly the sorted input — for any input, any memory size, any fan-in.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TwoWayConfig
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.iosim.disk import DiskGeometry, DiskModel
+from repro.iosim.files import SimulatedFileSystem
+from repro.runs.batched import BatchedReplacementSelection
+from repro.runs.load_sort_store import LoadSortStore
+from repro.runs.replacement_selection import ReplacementSelection
+from repro.sort.external import ExternalSort
+
+GENERATORS = {
+    "rs": lambda memory: ReplacementSelection(memory),
+    "2wrs": lambda memory: TwoWayReplacementSelection(memory),
+    "lss": lambda memory: LoadSortStore(memory),
+    "brs": lambda memory: BatchedReplacementSelection(memory, minirun_length=8),
+}
+
+
+def small_fs():
+    return SimulatedFileSystem(DiskModel(geometry=DiskGeometry(page_records=16)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(-10**6, 10**6), max_size=400),
+    st.integers(4, 60),
+    st.integers(2, 6),
+    st.sampled_from(sorted(GENERATORS)),
+)
+def test_pipeline_output_is_sorted_input(data, memory, fan_in, generator_name):
+    generator = GENERATORS[generator_name](memory)
+    pipeline = ExternalSort(generator, fs=small_fs(), fan_in=fan_in)
+    out, report = pipeline.sort(data)
+    assert out.read_all() == sorted(data)
+    assert report.records == len(data)
+    assert sum(report.run_lengths) == len(data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+    st.integers(4, 40),
+)
+def test_all_generators_agree(data, memory):
+    """Different run generators must yield identical sorted output."""
+    outputs = []
+    for name in sorted(GENERATORS):
+        generator = GENERATORS[name](memory)
+        runs = list(generator.generate_runs(iter(data)))
+        merged = sorted(itertools.chain(*runs))
+        outputs.append(merged)
+    assert all(output == outputs[0] for output in outputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), max_size=250),
+    st.integers(4, 30),
+)
+def test_2wrs_never_more_runs_than_lss(data, memory):
+    """2WRS runs are at least memory-sized, so never beaten by LSS."""
+    twrs = TwoWayReplacementSelection(
+        memory, TwoWayConfig(buffer_fraction=0.0)
+    )
+    lss = LoadSortStore(memory)
+    assert twrs.count_runs(iter(data)) <= lss.count_runs(iter(data)) + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(), max_size=300), st.integers(2, 40))
+def test_run_phase_conserves_records(data, memory):
+    generator = TwoWayReplacementSelection(memory)
+    total = 0
+    for streams in generator.generate_run_streams(iter(data)):
+        assert streams.check_invariants()
+        total += len(streams)
+    assert total == len(data)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 10**6), min_size=50, max_size=400))
+def test_disk_accounting_consistent(data):
+    """Elapsed simulated time reconciles with the access counters."""
+    fs = small_fs()
+    pipeline = ExternalSort(ReplacementSelection(20), fs=fs, fan_in=3)
+    _, report = pipeline.sort(data)
+    for phase in (report.run_phase, report.merge_phase):
+        stats = phase.disk
+        geometry = fs.disk.geometry
+        expected = (
+            stats.random_accesses * geometry.random_access_cost()
+            + stats.sequential_accesses * geometry.sequential_access_cost()
+        )
+        assert phase.io_time == pytest.approx(expected)
+        assert stats.total_accesses == stats.pages_read + stats.pages_written

@@ -1,0 +1,108 @@
+"""Tests for the merge-phase reading strategies (Section 3.7.2)."""
+
+import pytest
+
+from repro.iosim.disk import DiskGeometry
+from repro.merge.reading import STRATEGIES, ReadingSimulator
+from repro.workloads.generators import random_input
+
+
+def make_runs(count=10, records=2_000):
+    return [sorted(random_input(records, seed=i)) for i in range(count)]
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ReadingSimulator(make_runs(), memory_records=4_096)
+
+
+class TestBasics:
+    def test_unknown_strategy(self, simulator):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            simulator.simulate("psychic")
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            ReadingSimulator([])
+
+    def test_reports_have_positive_times(self, simulator):
+        for strategy in STRATEGIES:
+            report = simulator.simulate(strategy)
+            assert report.total_time > 0
+            assert report.io_time > 0
+            assert report.block_reads > 0
+
+    def test_total_at_least_io_or_cpu(self, simulator):
+        n = sum(len(r) for r in simulator.runs)
+        cpu = n * simulator.cpu_per_record
+        for strategy in STRATEGIES:
+            report = simulator.simulate(strategy)
+            assert report.total_time >= cpu - 1e-9
+            assert report.total_time >= report.io_time - 1e-9
+
+    def test_every_block_eventually_read(self, simulator):
+        naive = simulator.simulate("naive")
+        total_blocks = sum(
+            -(-len(r) // max(1, simulator.memory_records // len(simulator.runs)))
+            for r in simulator.runs
+        )
+        assert naive.block_reads == total_blocks
+
+
+class TestStrategyOrdering:
+    def test_naive_stalls_for_every_block(self, simulator):
+        naive = simulator.simulate("naive")
+        # With no read-ahead the consumer pays the whole I/O bill.
+        assert naive.stall_time == pytest.approx(naive.io_time, rel=0.05)
+
+    def test_planning_beats_naive(self, simulator):
+        naive = simulator.simulate("naive")
+        planning = simulator.simulate("planning")
+        assert planning.total_time < naive.total_time
+
+    def test_planning_has_lowest_stall(self, simulator):
+        reports = simulator.compare()
+        assert reports["planning"].stall_time == min(
+            r.stall_time for r in reports.values()
+        )
+
+    def test_forecasting_not_worse_than_naive(self, simulator):
+        reports = simulator.compare()
+        assert (
+            reports["forecasting"].total_time
+            <= reports["naive"].total_time * 1.05
+        )
+
+    def test_double_buffering_doubles_refills(self, simulator):
+        reports = simulator.compare()
+        assert reports["double_buffering"].block_reads >= int(
+            1.8 * reports["naive"].block_reads
+        )
+
+    def test_planning_amortises_seeks(self, simulator):
+        reports = simulator.compare()
+        planning = reports["planning"]
+        # Fewer seeks per block read than the naive scan despite having
+        # smaller buffers.
+        assert (
+            planning.seeks / planning.block_reads
+            < reports["naive"].seeks / reports["naive"].block_reads
+        )
+
+    def test_cpu_bound_regime_hides_io(self):
+        """With a slow CPU, read-ahead hides essentially all I/O."""
+        sim = ReadingSimulator(
+            make_runs(), memory_records=4_096, cpu_per_record=3e-4
+        )
+        reports = sim.compare()
+        assert reports["double_buffering"].stall_time < 0.3 * (
+            reports["naive"].stall_time
+        )
+
+
+class TestGeometry:
+    def test_faster_disk_shrinks_io(self):
+        fast = DiskGeometry(seek_time=1e-3, rotational_delay=5e-4)
+        a = ReadingSimulator(make_runs(), geometry=fast).simulate("naive")
+        b = ReadingSimulator(make_runs()).simulate("naive")
+        assert a.io_time < b.io_time

@@ -1,0 +1,98 @@
+"""Tests for the snowplow differential model (Section 3.6)."""
+
+import math
+
+import pytest
+
+from repro.model.snowplow import ModelRun, SnowplowModel, stable_density
+
+
+class TestConstruction:
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            SnowplowModel(cells=2)
+
+    def test_invalid_num_runs(self):
+        with pytest.raises(ValueError):
+            SnowplowModel().solve(num_runs=0)
+
+    def test_zero_mass_data_rejected(self):
+        with pytest.raises(ValueError):
+            SnowplowModel(data=lambda x: 0.0)
+
+    def test_k2_is_data_integral(self):
+        model = SnowplowModel(data=lambda x: 2.0, cells=128)
+        assert model.k2 == pytest.approx(2.0, rel=1e-6)
+
+
+class TestDensity:
+    def test_initial_density_uniform(self):
+        model = SnowplowModel(cells=64)
+        assert all(v == pytest.approx(1.0) for v in model.density_profile(0.0))
+
+    def test_density_grows_linearly_before_clearing(self):
+        model = SnowplowModel(cells=64)
+        # dm/dt = k1/k2 * data = 1 everywhere for uniform data.
+        assert model.density(0.5, 2.0) == pytest.approx(3.0)
+
+    def test_initial_memory_usage_is_one(self):
+        model = SnowplowModel(cells=64)
+        assert model.memory_usage(0.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_custom_initial_density(self):
+        model = SnowplowModel(cells=64, initial_density=stable_density)
+        profile = model.density_profile(0.0)
+        assert profile[0] == pytest.approx(2.0 - 2.0 * model.grid[0])
+
+
+class TestConvergence:
+    def test_uniform_input_run_lengths_approach_two(self):
+        model = SnowplowModel(cells=128)
+        runs = model.solve(num_runs=3, dt=1e-3)
+        assert len(runs) == 3
+        # Knuth/Section 3.5: stabilised run length = 2x memory.
+        assert runs[-1].length == pytest.approx(2.0, abs=0.1)
+
+    def test_stable_start_stays_stable(self):
+        model = SnowplowModel(cells=128, initial_density=stable_density)
+        runs = model.solve(num_runs=2, dt=1e-3)
+        for run in runs:
+            assert run.length == pytest.approx(2.0, abs=0.1)
+
+    def test_density_converges_to_2_minus_2x(self):
+        model = SnowplowModel(cells=128)
+        runs = model.solve(num_runs=4, dt=1e-3)
+        last = runs[-1]
+        error = max(
+            abs(v - stable_density(x))
+            for v, x in zip(last.density_at_start, model.grid)
+        )
+        assert error < 0.1
+
+    def test_first_run_shorter_than_stable(self):
+        # From a uniform start the first run is below 2.0 (Figure 3.8a).
+        model = SnowplowModel(cells=128)
+        runs = model.solve(num_runs=2, dt=1e-3)
+        assert runs[0].length < runs[1].length <= 2.2
+
+    def test_memory_stays_bounded(self):
+        model = SnowplowModel(cells=128)
+        runs = model.solve(num_runs=3, dt=1e-3)
+        end = runs[-1].end_time
+        assert model.memory_usage(end) == pytest.approx(1.0, abs=0.15)
+
+    def test_run_metadata_consistent(self):
+        model = SnowplowModel(cells=64)
+        runs = model.solve(num_runs=2, dt=1e-3)
+        for run in runs:
+            assert isinstance(run, ModelRun)
+            assert run.end_time > run.start_time
+            assert run.length == pytest.approx(
+                model.k1 * (run.end_time - run.start_time)
+            )
+
+    def test_nonuniform_data_still_solves(self):
+        # Rising input density: more snow near x=1.
+        model = SnowplowModel(data=lambda x: 2 * x, cells=128)
+        runs = model.solve(num_runs=2, dt=1e-3)
+        assert all(run.length > 0 for run in runs)

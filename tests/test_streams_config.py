@@ -1,0 +1,118 @@
+"""Tests for RunStreams assembly and TwoWayConfig partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    BUFFER_FRACTIONS,
+    RECOMMENDED,
+    TABLE_5_13_CONFIGS,
+    TwoWayConfig,
+)
+from repro.core.streams import RunStreams
+
+
+class TestRunStreams:
+    def test_assembly_order_4_3_2_1(self):
+        streams = RunStreams(
+            run_index=0,
+            stream1=[52, 53],
+            stream2=[51, 50],
+            stream3=[39, 40],
+            stream4=[38, 37],
+        )
+        assert streams.assemble() == [37, 38, 39, 40, 50, 51, 52, 53]
+
+    def test_len_counts_all_streams(self):
+        streams = RunStreams(0, [1], [2], [3], [4])
+        assert len(streams) == 4
+
+    def test_empty_streams_assemble_empty(self):
+        assert RunStreams(0).assemble() == []
+
+    def test_invariants_hold_for_valid_streams(self):
+        streams = RunStreams(0, [5, 6], [4, 3], [1, 2], [0])
+        assert streams.check_invariants()
+
+    def test_invariants_catch_unsorted_stream(self):
+        streams = RunStreams(0, stream1=[2, 1])
+        assert not streams.check_invariants()
+
+    def test_invariants_catch_range_overlap(self):
+        streams = RunStreams(0, stream1=[1, 2], stream4=[100])
+        assert not streams.check_invariants()
+
+
+class TestTwoWayConfig:
+    def test_default_is_recommended_shape(self):
+        config = TwoWayConfig()
+        assert config.buffer_setup == "both"
+        assert config.buffer_fraction == pytest.approx(0.02)
+        assert config.input_heuristic == "mean"
+        assert config.output_heuristic == "random"
+
+    def test_recommended_matches_section_5_3(self):
+        assert RECOMMENDED.buffer_setup == "both"
+        assert RECOMMENDED.input_heuristic == "mean"
+        assert RECOMMENDED.output_heuristic == "random"
+        assert RECOMMENDED.buffer_fraction == pytest.approx(0.02)
+
+    def test_invalid_setup(self):
+        with pytest.raises(ValueError):
+            TwoWayConfig(buffer_setup="neither")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TwoWayConfig(buffer_fraction=1.5)
+        with pytest.raises(ValueError):
+            TwoWayConfig(buffer_fraction=-0.1)
+
+    def test_partition_both_splits_evenly(self):
+        config = TwoWayConfig(buffer_setup="both", buffer_fraction=0.2)
+        heap, input_buf, victim = config.partition_memory(1_000)
+        assert heap == 800
+        assert input_buf == 100
+        assert victim == 100
+
+    def test_partition_input_only(self):
+        config = TwoWayConfig(buffer_setup="input", buffer_fraction=0.1)
+        heap, input_buf, victim = config.partition_memory(1_000)
+        assert (heap, input_buf, victim) == (900, 100, 0)
+
+    def test_partition_victim_only(self):
+        config = TwoWayConfig(buffer_setup="victim", buffer_fraction=0.1)
+        heap, input_buf, victim = config.partition_memory(1_000)
+        assert (heap, input_buf, victim) == (900, 0, 100)
+
+    def test_partition_never_starves_heaps(self):
+        config = TwoWayConfig(buffer_setup="both", buffer_fraction=0.2)
+        heap, _, _ = config.partition_memory(2)
+        assert heap >= 1
+
+    def test_table_5_13_configs_shapes(self):
+        assert TABLE_5_13_CONFIGS["cfg1"].buffer_setup == "input"
+        assert TABLE_5_13_CONFIGS["cfg2"].buffer_fraction == pytest.approx(0.20)
+        assert TABLE_5_13_CONFIGS["cfg3"].buffer_fraction == pytest.approx(0.02)
+        for config in TABLE_5_13_CONFIGS.values():
+            assert config.input_heuristic == "mean"
+            assert config.output_heuristic == "random"
+
+    def test_paper_fraction_levels_are_valid(self):
+        for fraction in BUFFER_FRACTIONS:
+            TwoWayConfig(buffer_fraction=fraction)
+
+
+@settings(max_examples=200)
+@given(
+    st.sampled_from(["input", "both", "victim"]),
+    st.floats(0.0, 0.99),
+    st.integers(2, 10_000),
+)
+def test_partition_always_sums_to_total(setup, fraction, memory):
+    config = TwoWayConfig(buffer_setup=setup, buffer_fraction=fraction)
+    heap, input_buf, victim = config.partition_memory(memory)
+    assert heap + input_buf + victim == memory
+    assert heap >= 1
+    assert input_buf >= 0
+    assert victim >= 0

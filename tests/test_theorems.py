@@ -1,0 +1,129 @@
+"""The paper's theorems, validated: predictions vs measured run counts.
+
+Section 5.1 proves seven statements about RS and 2WRS run lengths;
+``repro.analysis`` encodes the predictions and this module confirms
+that the implementations obey them across sizes and seeds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analysis
+from repro.core.config import TwoWayConfig
+from repro.core.two_way import TwoWayReplacementSelection
+from repro.runs.replacement_selection import ReplacementSelection
+from repro.workloads.generators import (
+    alternating_input,
+    random_input,
+    reverse_sorted_input,
+    sorted_input,
+)
+
+
+class TestPredictors:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            analysis.rs_runs_sorted(-1, 10)
+        with pytest.raises(ValueError):
+            analysis.rs_runs_reverse_sorted(10, 0)
+        with pytest.raises(ValueError):
+            analysis.rs_runs_alternating(10, 0, 5)
+
+    def test_empty_input_zero_runs(self):
+        assert analysis.rs_runs_sorted(0, 10) == 0
+        assert analysis.twrs_runs_reverse_sorted(0, 10) == 0
+
+    def test_theorem_5_formula_maximum(self):
+        # The proof's maximum: 2k / (k/m) = 2m when k divides cleanly.
+        assert analysis.rs_alternating_average_run_length(10_000, 100) == (
+            pytest.approx(2.0 * 100, rel=0.02)
+        )
+
+
+class TestTheorem1:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 3_000), st.integers(2, 200))
+    def test_rs_sorted(self, n, m):
+        measured = ReplacementSelection(m).count_runs(sorted_input(n))
+        assert measured == analysis.rs_runs_sorted(n, m)
+
+
+class TestTheorem2:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 3_000), st.integers(2, 200))
+    def test_2wrs_sorted(self, n, m):
+        measured = TwoWayReplacementSelection(m).count_runs(sorted_input(n))
+        assert measured == analysis.twrs_runs_sorted(n, m)
+
+
+class TestTheorem3:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 3_000), st.integers(2, 200))
+    def test_rs_reverse(self, n, m):
+        measured = ReplacementSelection(m).count_runs(reverse_sorted_input(n))
+        assert measured == analysis.rs_runs_reverse_sorted(n, m)
+
+
+class TestTheorem4:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 3_000), st.integers(2, 200))
+    def test_2wrs_reverse(self, n, m):
+        measured = TwoWayReplacementSelection(m).count_runs(
+            reverse_sorted_input(n)
+        )
+        assert measured == analysis.twrs_runs_reverse_sorted(n, m)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("sections,m", [(4, 100), (8, 200), (10, 100)])
+    def test_rs_alternating_matches_formula(self, sections, m):
+        n = 40_000
+        measured = ReplacementSelection(m).count_runs(
+            alternating_input(n, sections=sections)
+        )
+        predicted = analysis.rs_runs_alternating(n, sections, m)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("sections", [4, 8, 16])
+    def test_2wrs_one_run_per_section(self, sections):
+        n, m = 32_000, 200  # k = n/sections >> m
+        measured = TwoWayReplacementSelection(m).count_runs(
+            alternating_input(n, sections=sections)
+        )
+        assert measured == analysis.twrs_runs_alternating(n, sections, m)
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize(
+        "dataset",
+        [
+            lambda n: sorted_input(n),
+            lambda n: reverse_sorted_input(n),
+            lambda n: alternating_input(n, sections=8),
+        ],
+    )
+    def test_2wrs_never_loses_on_structured_inputs(self, dataset):
+        n, m = 20_000, 200
+        rs_runs = ReplacementSelection(m).count_runs(dataset(n))
+        twrs_runs = TwoWayReplacementSelection(m).count_runs(dataset(n))
+        assert analysis.theorem_7_bound(rs_runs, twrs_runs)
+
+
+class TestSnowplow:
+    def test_rs_random_double_memory(self):
+        n, m = 60_000, 300
+        measured = ReplacementSelection(m).count_runs(random_input(n, seed=2))
+        predicted = analysis.rs_runs_random(n, m)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_2wrs_random_double_memory(self):
+        n, m = 60_000, 300
+        config = TwoWayConfig(buffer_fraction=0.002)
+        measured = TwoWayReplacementSelection(m, config).count_runs(
+            random_input(n, seed=2)
+        )
+        predicted = analysis.twrs_runs_random(n, m)
+        assert measured == pytest.approx(predicted, rel=0.20)

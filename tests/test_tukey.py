@@ -1,0 +1,90 @@
+"""Tests for Tukey HSD pairwise comparisons (Section 5.2)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.stats.anova import Factor, FactorialDesign, one_way_anova
+from repro.stats.tukey import tukey_hsd
+
+
+def design_with_means(means, sigma=0.5, reps=10, seed=0):
+    rng = np.random.default_rng(seed)
+    factor = Factor("g", tuple(means))
+    design = FactorialDesign([factor])
+    for level, mean in means.items():
+        for _ in range(reps):
+            design.add((level,), mean + rng.normal(0, sigma))
+    return design
+
+
+class TestTukey:
+    def test_separates_distinct_means(self):
+        design = design_with_means({"a": 0.0, "b": 5.0, "c": 10.0})
+        result = tukey_hsd(design, one_way_anova(design, "g"), ["g"])
+        for comparison in result.comparisons:
+            assert comparison.rejects_equality()
+
+    def test_fails_to_separate_equal_means(self):
+        design = design_with_means({"a": 5.0, "b": 5.0, "c": 20.0})
+        result = tukey_hsd(design, one_way_anova(design, "g"), ["g"])
+        matrix = result.significance_matrix()
+        assert matrix[("a", "b")] > 0.05
+        assert matrix[("a", "c")] < 0.05
+
+    def test_best_levels_include_ties(self):
+        design = design_with_means({"a": 5.0, "b": 5.05, "c": 20.0})
+        result = tukey_hsd(design, one_way_anova(design, "g"), ["g"])
+        best = result.best_levels()
+        assert set(best) == {"a", "b"}
+
+    def test_matches_scipy_tukey(self):
+        rng = np.random.default_rng(5)
+        groups = {
+            "a": 10 + rng.normal(0, 1, 15),
+            "b": 12 + rng.normal(0, 1, 15),
+            "c": 10.5 + rng.normal(0, 1, 15),
+        }
+        design = FactorialDesign([Factor("g", tuple(groups))])
+        for level, values in groups.items():
+            for value in values:
+                design.add((level,), float(value))
+        ours = tukey_hsd(design, one_way_anova(design, "g"), ["g"])
+        reference = sstats.tukey_hsd(*groups.values())
+        matrix = ours.significance_matrix()
+        labels = list(groups)
+        for i, a in enumerate(labels):
+            for j, b in enumerate(labels):
+                if i < j:
+                    assert matrix[(a, b)] == pytest.approx(
+                        reference.pvalue[i, j], abs=1e-6
+                    )
+
+    def test_combination_levels(self):
+        rng = np.random.default_rng(6)
+        fa = Factor("a", ("x", "y"))
+        fb = Factor("b", ("p", "q"))
+        design = FactorialDesign([fa, fb])
+        for a in fa.levels:
+            for b in fb.levels:
+                mean = 0.0 if (a, b) == ("x", "p") else 8.0
+                for _ in range(10):
+                    design.add((a, b), mean + rng.normal(0, 0.5))
+        from repro.stats.anova import anova
+
+        model = anova(design, [("a",), ("b",), ("a", "b")])
+        result = tukey_hsd(design, model, ["a", "b"])
+        assert set(result.means) == {"x/p", "x/q", "y/p", "y/q"}
+        assert result.best_levels() == ["x/p"]
+
+    def test_single_level_combination_rejected(self):
+        design = design_with_means({"a": 1.0, "b": 2.0})
+        model = one_way_anova(design, "g")
+        result = tukey_hsd(design, model, ["g"])
+        assert len(result.comparisons) == 1
+
+    def test_format_table(self):
+        design = design_with_means({"a": 0.0, "b": 5.0})
+        result = tukey_hsd(design, one_way_anova(design, "g"), ["g"])
+        text = result.format_table()
+        assert "a" in text and "b" in text and "-" in text

@@ -1,0 +1,145 @@
+"""Tests for the six input distributions (Figure 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    alternating_input,
+    make_input,
+    mixed_balanced_input,
+    mixed_imbalanced_input,
+    mixed_input,
+    random_input,
+    reverse_sorted_input,
+    sorted_input,
+)
+
+
+class TestSorted:
+    def test_is_ascending(self):
+        values = list(sorted_input(1000))
+        assert values == sorted(values)
+
+    def test_length(self):
+        assert len(list(sorted_input(123))) == 123
+
+    def test_noise_keeps_overall_trend(self):
+        # Noise is bounded by the inter-record step at reasonable sizes.
+        values = list(sorted_input(1000, seed=1, noise=1000))
+        exact = list(sorted_input(1000))
+        drift = [abs(a - b) for a, b in zip(values, exact)]
+        assert max(drift) <= 1000
+
+
+class TestReverseSorted:
+    def test_is_descending(self):
+        values = list(reverse_sorted_input(1000))
+        assert values == sorted(values, reverse=True)
+
+    def test_covers_same_range_as_sorted(self):
+        up = list(sorted_input(100))
+        down = list(reverse_sorted_input(100))
+        assert sorted(up) == sorted(down)
+
+
+class TestAlternating:
+    def test_sections_alternate_direction(self):
+        values = list(alternating_input(1000, sections=4))
+        quarter = len(values) // 4
+        first = values[:quarter]
+        second = values[quarter : 2 * quarter]
+        assert first == sorted(first)
+        assert second == sorted(second, reverse=True)
+
+    def test_section_count_one_is_sorted(self):
+        values = list(alternating_input(500, sections=1))
+        assert values == sorted(values)
+
+    def test_invalid_sections(self):
+        with pytest.raises(ValueError):
+            list(alternating_input(10, sections=0))
+
+    def test_exact_length_with_remainder(self):
+        assert len(list(alternating_input(1003, sections=7))) == 1003
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = list(random_input(100, seed=5))
+        b = list(random_input(100, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert list(random_input(100, seed=1)) != list(random_input(100, seed=2))
+
+    def test_range(self):
+        values = list(random_input(1000, seed=0, value_span=1000))
+        assert all(0 <= v < 1000 for v in values)
+
+
+class TestMixed:
+    def test_balanced_alternates_trends(self):
+        values = list(mixed_balanced_input(1000))
+        ups = values[0::2]
+        downs = values[1::2]
+        assert ups == sorted(ups)
+        assert downs == sorted(downs, reverse=True)
+
+    def test_trends_live_in_disjoint_halves(self):
+        values = list(mixed_balanced_input(1000, value_span=10**9))
+        ups = values[0::2]
+        downs = values[1::2]
+        assert max(ups) < min(downs)
+
+    def test_imbalanced_ratio(self):
+        values = list(mixed_imbalanced_input(1000, value_span=10**9))
+        half = 10**9 // 2
+        ups = sum(1 for v in values if v < half)
+        downs = len(values) - ups
+        assert downs == pytest.approx(3 * ups, rel=0.05)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            list(mixed_input(10, down_per_up=0))
+
+
+class TestRegistry:
+    def test_all_six_distributions_registered(self):
+        assert set(DISTRIBUTIONS) == {
+            "sorted",
+            "reverse_sorted",
+            "alternating",
+            "random",
+            "mixed_balanced",
+            "mixed_imbalanced",
+        }
+
+    def test_make_input_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            list(make_input("zipf", 10))
+
+    def test_make_input_adds_noise_by_default(self):
+        # Section 5.2: seeded replicates must differ for the ANOVA.
+        a = list(make_input("sorted", 50, seed=1))
+        b = list(make_input("sorted", 50, seed=2))
+        assert a != b
+
+
+@settings(max_examples=60)
+@given(
+    st.sampled_from(sorted(DISTRIBUTIONS)),
+    st.integers(1, 500),
+    st.integers(0, 2**31),
+)
+def test_every_distribution_yields_exactly_n(name, n, seed):
+    assert len(list(make_input(name, n, seed=seed))) == n
+
+
+@settings(max_examples=60)
+@given(st.integers(1, 300), st.integers(0, 2**31))
+def test_noise_is_deterministic_per_seed(n, seed):
+    a = list(make_input("random", n, seed=seed))
+    b = list(make_input("random", n, seed=seed))
+    assert a == b
