@@ -21,9 +21,11 @@ SEEDS = (3, 5)
 
 def _sweep():
     cells = {}
+    stat_ops = {}
     for input_h in INPUT_HEURISTICS:
         for output_h in OUTPUT_HEURISTICS:
             runs = 0
+            mean_ops = median_ops = 0
             for seed in SEEDS:
                 config = TwoWayConfig(
                     buffer_setup="both",
@@ -33,16 +35,34 @@ def _sweep():
                     seed=seed,
                 )
                 data = make_input("mixed_balanced", INPUT, seed=seed)
-                runs += TwoWayReplacementSelection(MEMORY, config).count_runs(data)
+                algo = TwoWayReplacementSelection(MEMORY, config)
+                runs += algo.count_runs(data)
+                mean_ops += algo.last_input_buffer.mean_computations
+                median_ops += algo.last_input_buffer.median_computations
             cells[(input_h, output_h)] = runs / len(SEEDS)
-    return cells
+            stat_ops[(input_h, output_h)] = (mean_ops, median_ops)
+    return cells, stat_ops
 
 
 def test_bench_ablation_heuristics(benchmark):
-    cells = run_once(benchmark, _sweep)
+    cells, stat_ops = run_once(benchmark, _sweep)
     print("\nMean runs per heuristic pair (mixed balanced):")
     for (input_h, output_h), mean_runs in sorted(cells.items()):
-        print(f"  {input_h:<10} x {output_h:<12} -> {mean_runs:7.1f}")
+        mean_ops, median_ops = stat_ops[(input_h, output_h)]
+        print(
+            f"  {input_h:<10} x {output_h:<12} -> {mean_runs:7.1f}"
+            f"   (mean comps {mean_ops:>6}, median comps {median_ops:>6})"
+        )
+    # Lazy statistics: heuristics that ignore the distribution trigger
+    # zero mean/median computations; Mean never computes medians and
+    # vice versa (the eager seed computed both on every decision).
+    for (input_h, _), (mean_ops, median_ops) in stat_ops.items():
+        if input_h in ("random", "alternate"):
+            assert mean_ops == 0 and median_ops == 0
+        elif input_h == "mean":
+            assert mean_ops > 0 and median_ops == 0
+        elif input_h == "median":
+            assert median_ops > 0 and mean_ops == 0
     best_value = min(cells.values())
     best_inputs = {pair[0] for pair, v in cells.items() if v == best_value}
     # Table 5.7: Alternate, Mean and Median are tied best; Mean must be

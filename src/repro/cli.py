@@ -20,17 +20,20 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
-from typing import Iterator, List, Optional, TextIO
+from contextlib import nullcontext
+from typing import ContextManager, Iterator, List, Optional, TextIO
 
 from repro.core.config import RECOMMENDED, TwoWayConfig
 from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
 from repro.core.two_way import TwoWayReplacementSelection
 from repro.experiments import EXPERIMENTS
-from repro.merge.kway import kway_merge
+from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import RunGenerator
 from repro.runs.batched import BatchedReplacementSelection
 from repro.runs.load_sort_store import LoadSortStore
 from repro.runs.replacement_selection import ReplacementSelection
+from repro.sort.external import ExternalSort
+from repro.sort.spill import DEFAULT_BUFFER_RECORDS, FileSpillSort
 from repro.workloads.generators import DISTRIBUTIONS, make_input
 
 ALGORITHMS = ("rs", "2wrs", "lss", "brs")
@@ -60,48 +63,81 @@ def _make_generator(args: argparse.Namespace) -> RunGenerator:
     return TwoWayReplacementSelection(args.memory, config)
 
 
-def _open_input(path: Optional[str]) -> TextIO:
+def _open_input(path: Optional[str]) -> ContextManager[TextIO]:
+    """Context manager over the input; never closes handles it did not open.
+
+    stdin is wrapped in :func:`~contextlib.nullcontext` so ``with``
+    leaves it open — the CLI must only close files it opened itself.
+    """
     if path is None or path == "-":
-        return sys.stdin
+        return nullcontext(sys.stdin)
     return open(path, "r", encoding="utf-8")
+
+
+def _open_output(path: Optional[str]) -> ContextManager[TextIO]:
+    if path is None:
+        return nullcontext(sys.stdout)
+    return open(path, "w", encoding="utf-8")
 
 
 def cmd_sort(args: argparse.Namespace) -> int:
     generator = _make_generator(args)
-    with _open_input(args.input) as handle:
-        runs = [list(run) for run in generator.generate_runs(_read_keys(handle))]
-    merged = kway_merge(runs)
-    out = sys.stdout if args.output is None else open(args.output, "w", encoding="utf-8")
-    try:
-        for key in merged:
+    sorter = FileSpillSort(
+        generator, fan_in=args.fan_in, buffer_records=args.merge_buffer
+    )
+    with _open_input(args.input) as handle, _open_output(args.output) as out:
+        # End-to-end streaming: runs spill to temp files as they are
+        # generated and the merge reads them back lazily, so no list of
+        # all runs (or of the merged output) is ever materialised.
+        for key in sorter.sort(_read_keys(handle)):
             out.write(f"{key}\n")
-    finally:
-        if out is not sys.stdout:
-            out.close()
     print(
         f"{generator.name}: {generator.stats.records_in} records in "
         f"{generator.stats.runs_out} runs "
         f"(avg {generator.stats.average_run_length:.0f} records)",
         file=sys.stderr,
     )
+    if args.report and sorter.report is not None:
+        print(sorter.report.summary(), file=sys.stderr)
+        print(
+            f"  spill  passes={sorter.merge_passes}  "
+            f"peak_buffered={sorter.max_resident_records} records  "
+            f"readers<={sorter.max_open_readers}",
+            file=sys.stderr,
+        )
     return 0
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
     with _open_input(args.input) as handle:
         data = list(_read_keys(handle))
-    print(f"{'algorithm':<10} {'runs':>6} {'avg length':>12} {'cpu ops':>12}")
+    header = f"{'algorithm':<10} {'runs':>6} {'avg length':>12} {'cpu ops':>12}"
+    if args.report:
+        header += f" {'run time':>10} {'total time':>11}"
+    print(header)
     for name in ALGORITHMS:
         namespace = argparse.Namespace(**vars(args))
         namespace.algorithm = name
         generator = _make_generator(namespace)
-        for _ in generator.generate_runs(iter(data)):
-            pass
-        stats = generator.stats
-        print(
-            f"{generator.name:<10} {stats.runs_out:>6} "
-            f"{stats.average_run_length:>12.1f} {stats.cpu_ops:>12}"
-        )
+        if args.report:
+            # Full simulated pipeline, so the paper's two headline
+            # timings (run phase, run+merge) appear per algorithm.
+            pipeline = ExternalSort(generator, fan_in=args.fan_in)
+            _, report = pipeline.sort(iter(data))
+            stats = generator.stats
+            print(
+                f"{generator.name:<10} {report.runs:>6} "
+                f"{report.average_run_length:>12.1f} {stats.cpu_ops:>12}"
+                f" {report.run_time:>9.3f}s {report.total_time:>10.3f}s"
+            )
+        else:
+            for _ in generator.generate_runs(iter(data)):
+                pass
+            stats = generator.stats
+            print(
+                f"{generator.name:<10} {stats.runs_out:>6} "
+                f"{stats.average_run_length:>12.1f} {stats.cpu_ops:>12}"
+            )
     return 0
 
 
@@ -120,6 +156,20 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     for value in records:
         sys.stdout.write(f"{value}\n")
     return 0
+
+
+def _fan_in(text: str) -> int:
+    value = int(text)
+    if value < 2:
+        raise argparse.ArgumentTypeError(f"fan-in must be >= 2, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a value >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,9 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output-heuristic", choices=sorted(OUTPUT_HEURISTICS),
                        default=RECOMMENDED.output_heuristic)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--fan-in", type=_fan_in, default=DEFAULT_FAN_IN,
+                       help=f"merge fan-in (default {DEFAULT_FAN_IN})")
+        p.add_argument("--report", action="store_true",
+                       help="print phase timings (SortReport) to stderr")
 
     p_sort = sub.add_parser("sort", help="externally sort integer keys")
     add_generator_options(p_sort)
+    p_sort.add_argument("--merge-buffer", type=_positive_int,
+                        default=DEFAULT_BUFFER_RECORDS,
+                        help="records buffered per run reader during the "
+                             f"merge (default {DEFAULT_BUFFER_RECORDS})")
     p_sort.add_argument("input", nargs="?", help="input file ('-' = stdin)")
     p_sort.add_argument("-o", "--output", help="output file (default stdout)")
     p_sort.set_defaults(func=cmd_sort)

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Optional, Type
+
+#: Sentinel distinguishing "not provided" from an explicit None.
+_UNSET = object()
 
 
 class Side(Enum):
@@ -31,9 +33,19 @@ class Side(Enum):
         return Side.BOTTOM if self is Side.TOP else Side.TOP
 
 
-@dataclass
 class HeuristicContext:
     """What a heuristic may observe about the running algorithm.
+
+    The distribution statistics (``input_mean`` / ``input_median`` /
+    ``input_sample``) are *lazy*: when a ``stats`` provider is given
+    (any object with ``mean()`` / ``median()`` / ``sample()``, normally
+    the :class:`~repro.core.input_buffer.InputBuffer`), each statistic
+    is fetched on first attribute access and cached for the lifetime of
+    the context.  A context lives for exactly one routing decision, so
+    heuristics that never look at a statistic never pay for it, and the
+    provider's own per-generation memoization keeps repeated lookups
+    cheap.  Passing the statistics as explicit keyword values still
+    works and takes precedence over the provider.
 
     Attributes
     ----------
@@ -51,17 +63,72 @@ class HeuristicContext:
         First record released in the current run (None before it).
     """
 
-    rng: random.Random
-    top_size: int = 0
-    bottom_size: int = 0
-    top_outputs: int = 0
-    bottom_outputs: int = 0
-    top_head: Optional[Any] = None
-    bottom_head: Optional[Any] = None
-    input_mean: Optional[float] = None
-    input_median: Optional[Any] = None
-    input_sample: Optional[list] = None
-    first_output: Optional[Any] = None
+    __slots__ = (
+        "rng",
+        "top_size",
+        "bottom_size",
+        "top_outputs",
+        "bottom_outputs",
+        "top_head",
+        "bottom_head",
+        "first_output",
+        "_stats",
+        "_input_mean",
+        "_input_median",
+        "_input_sample",
+    )
+
+    def __init__(
+        self,
+        rng: random.Random,
+        top_size: int = 0,
+        bottom_size: int = 0,
+        top_outputs: int = 0,
+        bottom_outputs: int = 0,
+        top_head: Optional[Any] = None,
+        bottom_head: Optional[Any] = None,
+        input_mean: Any = _UNSET,
+        input_median: Any = _UNSET,
+        input_sample: Any = _UNSET,
+        first_output: Optional[Any] = None,
+        stats: Optional[Any] = None,
+    ) -> None:
+        self.rng = rng
+        self.top_size = top_size
+        self.bottom_size = bottom_size
+        self.top_outputs = top_outputs
+        self.bottom_outputs = bottom_outputs
+        self.top_head = top_head
+        self.bottom_head = bottom_head
+        self.first_output = first_output
+        self._stats = stats
+        self._input_mean = input_mean
+        self._input_median = input_median
+        self._input_sample = input_sample
+
+    @property
+    def input_mean(self) -> Optional[float]:
+        if self._input_mean is _UNSET:
+            self._input_mean = (
+                self._stats.mean() if self._stats is not None else None
+            )
+        return self._input_mean
+
+    @property
+    def input_median(self) -> Optional[Any]:
+        if self._input_median is _UNSET:
+            self._input_median = (
+                self._stats.median() if self._stats is not None else None
+            )
+        return self._input_median
+
+    @property
+    def input_sample(self) -> Optional[list]:
+        if self._input_sample is _UNSET:
+            self._input_sample = (
+                self._stats.sample() if self._stats is not None else None
+            )
+        return self._input_sample
 
     def usefulness(self, side: Side) -> float:
         """Records output by a heap divided by its size (Section 4.2)."""

@@ -9,12 +9,21 @@ When the configured capacity is zero (the paper's "victim buffer only"
 setup still crosses all heuristics), the buffer degenerates to a direct
 pass-through but keeps a small shadow window of recently read records so
 Mean/Median remain defined — a documented deviation (DESIGN.md §5).
+
+The statistics are *memoized per generation*: every mutation of the
+buffer bumps :attr:`generation`, and ``sample``/``mean``/``median`` are
+recomputed at most once per generation and only when actually asked
+for.  Heuristics that ignore the distribution therefore never pay for
+the statistics at all; the :attr:`mean_computations` /
+:attr:`median_computations` counters make that observable in tests and
+benchmarks.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
-from typing import Any, Deque, Iterable, Iterator, List, Optional
+from typing import Any, Deque, Iterable, Iterator, List, Optional, Tuple
 
 #: Size of the shadow sample kept when the buffer capacity is zero.
 SHADOW_WINDOW = 16
@@ -41,6 +50,19 @@ class InputBuffer:
         self._shadow: Deque[Any] = deque(maxlen=SHADOW_WINDOW)
         self._exhausted = False
         self.records_read = 0
+        #: Bumped on every mutation; invalidates the memoized statistics.
+        self.generation = 0
+        #: Number of times the mean / median were actually recomputed.
+        self.mean_computations = 0
+        self.median_computations = 0
+        self._sample_cache: Optional[Tuple[int, List[Any]]] = None
+        self._mean_cache: Optional[Tuple[int, Optional[float]]] = None
+        self._median_cache: Optional[Tuple[int, Optional[Any]]] = None
+        # Sorted mirror of the queue, activated by the first median()
+        # call and maintained incrementally from then on, so the Median
+        # heuristic costs O(log n) bookkeeping per record instead of an
+        # O(n log n) re-sort per lookup.  None = never asked for.
+        self._sorted_queue: Optional[List[Any]] = None
         self._fill()
 
     def _pull(self) -> Optional[Any]:
@@ -54,6 +76,7 @@ class InputBuffer:
             return None
         self.records_read += 1
         self._shadow.append(value)
+        self.generation += 1
         return value
 
     def _fill(self) -> None:
@@ -67,9 +90,14 @@ class InputBuffer:
         """Pop the head record (refilling the tail), or None at EOF."""
         if self._queue:
             head = self._queue.popleft()
+            if self._sorted_queue is not None:
+                del self._sorted_queue[bisect_left(self._sorted_queue, head)]
+            self.generation += 1
             refill = self._pull()
             if refill is not None:
                 self._queue.append(refill)
+                if self._sorted_queue is not None:
+                    insort(self._sorted_queue, refill)
             return head
         return self._pull()
 
@@ -79,10 +107,15 @@ class InputBuffer:
     # -- statistics for the Mean / Median heuristics ---------------------------
 
     def sample(self) -> List[Any]:
-        """Current buffer contents, or the shadow window when unbuffered."""
-        if self._queue:
-            return list(self._queue)
-        return list(self._shadow)
+        """Current buffer contents, or the shadow window when unbuffered.
+
+        The returned list is memoized until the next mutation — treat it
+        as read-only.
+        """
+        if self._sample_cache is None or self._sample_cache[0] != self.generation:
+            values = list(self._queue) if self._queue else list(self._shadow)
+            self._sample_cache = (self.generation, values)
+        return self._sample_cache[1]
 
     def mean(self) -> Optional[float]:
         """Mean of the sample, or None when unavailable.
@@ -91,17 +124,37 @@ class InputBuffer:
         numeric sort keys; the Mean heuristic then degrades to a coin
         flip while order-based heuristics keep working).
         """
-        values = self.sample()
-        if not values:
-            return None
-        try:
-            return sum(values) / len(values)
-        except TypeError:
-            return None
+        if self._mean_cache is None or self._mean_cache[0] != self.generation:
+            values = self.sample()
+            result: Optional[float]
+            if not values:
+                result = None
+            else:
+                try:
+                    result = sum(values) / len(values)
+                except TypeError:
+                    result = None
+            self.mean_computations += 1
+            self._mean_cache = (self.generation, result)
+        return self._mean_cache[1]
 
     def median(self) -> Optional[Any]:
-        """Median of the sample (lower middle), or None when empty."""
-        values = sorted(self.sample())
-        if not values:
-            return None
-        return values[(len(values) - 1) // 2]
+        """Median of the sample (lower middle), or None when empty.
+
+        The first call sorts the buffer once and activates an
+        incrementally-maintained sorted mirror; later calls are O(1)
+        lookups.  The shadow window (≤ :data:`SHADOW_WINDOW` records)
+        falls back to a memoized sort.
+        """
+        if self._median_cache is None or self._median_cache[0] != self.generation:
+            if self._queue:
+                mirror = self._sorted_queue
+                if mirror is None or len(mirror) != len(self._queue):
+                    mirror = self._sorted_queue = sorted(self._queue)
+                result = mirror[(len(mirror) - 1) // 2]
+            else:
+                values = sorted(self._shadow)
+                result = values[(len(values) - 1) // 2] if values else None
+            self.median_computations += 1
+            self._median_cache = (self.generation, result)
+        return self._median_cache[1]

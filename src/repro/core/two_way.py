@@ -92,6 +92,7 @@ class TwoWayReplacementSelection(RunGenerator):
         self.heap_capacity = heap
         self.input_buffer_capacity = input_buf
         self.victim_buffer_capacity = victim_buf
+        self.last_input_buffer: Optional[InputBuffer] = None
 
     # -- public API ---------------------------------------------------------------
 
@@ -104,6 +105,10 @@ class TwoWayReplacementSelection(RunGenerator):
         """Yield each run as its four constituent streams."""
         self.stats.reset()
         state = _RunState(self, records)
+        #: The live InputBuffer of the most recent generation, exposed so
+        #: callers can inspect its statistics counters (e.g. how many
+        #: mean/median computations the configured heuristics triggered).
+        self.last_input_buffer = state.source
         yield from state.run()
 
     # -- internals -------------------------------------------------------------------
@@ -161,6 +166,10 @@ class _RunState:
     # -- helpers ---------------------------------------------------------------
 
     def context(self) -> HeuristicContext:
+        # The distribution statistics are deliberately NOT computed here:
+        # the context holds a reference to the input buffer and fetches
+        # mean/median/sample lazily, only if the configured heuristic
+        # actually reads them (the buffer memoizes per generation).
         heaps = self.heaps
         return HeuristicContext(
             rng=self.rng,
@@ -170,9 +179,7 @@ class _RunState:
             bottom_outputs=self.outputs_bottom,
             top_head=heaps.top.peek().key if heaps.top else None,
             bottom_head=heaps.bottom.peek().key if heaps.bottom else None,
-            input_mean=self.source.mean(),
-            input_median=self.source.median(),
-            input_sample=self.source.sample(),
+            stats=self.source,
             first_output=self.first_output,
         )
 

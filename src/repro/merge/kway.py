@@ -43,10 +43,12 @@ def kway_merge(
     """
     iterators: List[Iterator[Any]] = [iter(s) for s in streams]
     heap: BinaryHeap[tuple] = BinaryHeap(_head_before)
+    exhausted: Iterator[Any] = iter(())
     for index, iterator in enumerate(iterators):
         try:
             head = next(iterator)
         except StopIteration:
+            iterators[index] = exhausted
             continue
         heap.push((head, index))
 
@@ -59,6 +61,10 @@ def kway_merge(
         try:
             head = next(iterators[index])
         except StopIteration:
+            # Drop the reference so a file-backed reader (and any chunk
+            # it buffers) is freed as soon as its run is exhausted, not
+            # at the end of the whole merge.
+            iterators[index] = exhausted
             heap.pop()
         else:
             heap.replace((head, index))

@@ -36,11 +36,17 @@ DEFAULT_CPU_OP_TIME = 2e-8
 
 @dataclass(slots=True)
 class PhaseReport:
-    """Timing and I/O of one pipeline phase."""
+    """Timing and I/O of one pipeline phase.
+
+    ``io_time``/``cpu_time`` are simulated seconds (DESIGN.md §3);
+    ``wall_time`` is real elapsed seconds, filled only by backends that
+    do real I/O (:class:`~repro.sort.spill.FileSpillSort`).
+    """
 
     io_time: float = 0.0
     cpu_ops: int = 0
     cpu_time: float = 0.0
+    wall_time: float = 0.0
     disk: Optional[DiskStats] = None
 
     @property
@@ -75,6 +81,28 @@ class SortReport:
         if not self.run_lengths:
             return 0.0
         return sum(self.run_lengths) / len(self.run_lengths)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (the CLI's ``--report``)."""
+
+        def phase_line(label: str, phase: PhaseReport) -> str:
+            parts = [f"cpu_ops={phase.cpu_ops}"]
+            if phase.wall_time:
+                parts.append(f"wall={phase.wall_time:.3f}s")
+            if phase.io_time:
+                parts.append(f"sim_io={phase.io_time:.3f}s")
+            if phase.cpu_time:
+                parts.append(f"sim_cpu={phase.cpu_time:.4f}s")
+            return f"  {label:<6}" + "  ".join(parts)
+
+        return "\n".join(
+            [
+                f"{self.algorithm}: {self.records} records in {self.runs} runs "
+                f"(avg {self.average_run_length:.0f} records)",
+                phase_line("runs", self.run_phase),
+                phase_line("merge", self.merge_phase),
+            ]
+        )
 
 
 class _ChainedRunSource:

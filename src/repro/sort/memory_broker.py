@@ -61,7 +61,8 @@ class MemoryBroker:
             raise ValueError(f"total must be >= 1, got {total}")
         self.total = total
         self.allocated: Dict[Any, int] = {}
-        self._waiting: List[tuple] = []  # (situation, order, owner, amount)
+        # (situation, order, owner, amount, maximum) — one entry per owner.
+        self._waiting: List[tuple] = []
         self._order = 0
 
     @property
@@ -87,10 +88,29 @@ class MemoryBroker:
         else:
             self.allocated.pop(owner, None)
 
-    def enqueue(self, owner: Any, amount: int, situation: WaitSituation) -> None:
-        """Register a process waiting for memory in a given situation."""
+    def enqueue(
+        self,
+        owner: Any,
+        amount: int,
+        situation: WaitSituation,
+        maximum: Optional[int] = None,
+    ) -> None:
+        """Register a process waiting for memory in a given situation.
+
+        Each owner holds at most one pending request: re-enqueueing
+        updates the amount, situation, and cap in place while keeping
+        the original FIFO stamp, so a starved process asking every
+        quantum cannot stack requests and be granted several times
+        over.  ``maximum`` caps the owner's *total* allocation — at
+        grant time the request is clamped to ``maximum - allocated``
+        and dropped when the owner is already at its cap.
+        """
+        for i, (_, order, pending_owner, _, _) in enumerate(self._waiting):
+            if pending_owner == owner:
+                self._waiting[i] = (situation, order, owner, amount, maximum)
+                return
         self._order += 1
-        self._waiting.append((situation, self._order, owner, amount))
+        self._waiting.append((situation, self._order, owner, amount, maximum))
 
     def grant_waiting(self) -> List[Any]:
         """Serve waiting processes in priority order; return the granted."""
@@ -99,17 +119,21 @@ class MemoryBroker:
         # Priority: the PRIORITY_ORDER rank, then FIFO within a rank.
         rank = {situation: i for i, situation in enumerate(PRIORITY_ORDER)}
         self._waiting.sort(key=lambda w: (rank[w[0]], w[1]))
-        for situation, order, owner, amount in self._waiting:
+        for situation, order, owner, amount, maximum in self._waiting:
+            if maximum is not None:
+                amount = min(amount, maximum - self.allocated.get(owner, 0))
+                if amount <= 0:
+                    continue  # already at its cap; drop the request
             if self.try_allocate(owner, amount):
                 granted.append(owner)
             else:
-                remaining.append((situation, order, owner, amount))
+                remaining.append((situation, order, owner, amount, maximum))
         self._waiting = remaining
         return granted
 
     @property
     def waiting(self) -> List[Any]:
-        return [owner for (_, _, owner, _) in self._waiting]
+        return [owner for (_, _, owner, _, _) in self._waiting]
 
 
 @dataclass(slots=True)
@@ -193,11 +217,26 @@ class ConcurrentSortSimulator:
                     if self.dynamic:
                         self.broker.grant_waiting()
             if not progressed and active:
-                # Everyone is waiting: grant whatever is possible, or
-                # force minimums so the simulation always terminates.
-                if not self.broker.grant_waiting():
-                    for job in active:
-                        self.broker.try_allocate(job.name, job.minimum_memory)
+                # Everyone is waiting: grant whatever is possible, then
+                # top stalled jobs up to their minimums.  If neither
+                # frees a job, no future iteration can either (memory
+                # only moves through these two paths), so raise instead
+                # of spinning forever on an undersized pool.
+                self.broker.grant_waiting()
+                for job in active:
+                    deficit = job.minimum_memory - self._memory_of(job)
+                    if deficit > 0:
+                        self.broker.try_allocate(job.name, deficit)
+                if all(
+                    self._memory_of(job) < job.minimum_memory for job in active
+                ):
+                    minimums = {job.name: job.minimum_memory for job in active}
+                    raise RuntimeError(
+                        f"memory pool of {self.broker.total} records cannot "
+                        f"satisfy the minimum memory of any waiting job "
+                        f"(minimums: {minimums}); enlarge the pool or lower "
+                        f"the job minimums"
+                    )
         return {job.name: job.finished_at for job in self.jobs}
 
     # -- internals ---------------------------------------------------------------
@@ -224,16 +263,20 @@ class ConcurrentSortSimulator:
 
     def _step_run_generation(self, job: SortJob, memory: int) -> bool:
         # Opportunistically ask for more memory while building runs
-        # (the first-run-growing situation of the policy).
+        # (the first-run-growing situation of the policy).  The enqueue
+        # carries the job's cap and the broker keeps one pending request
+        # per owner, so a starved job re-asking every quantum can never
+        # be granted past maximum_memory.
         if self.dynamic and memory < job.maximum_memory:
             want = min(job.maximum_memory - memory, memory)
-            if not self.broker.try_allocate(job.name, want):
+            if want > 0 and not self.broker.try_allocate(job.name, want):
                 self.broker.enqueue(
                     job.name,
                     want,
                     WaitSituation.FIRST_RUN_GROWING
                     if not job.runs
                     else WaitSituation.LATER_RUNS,
+                    maximum=job.maximum_memory,
                 )
             memory = self._memory_of(job)
         chunk = min(memory, len(job.records) - job.position)

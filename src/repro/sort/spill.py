@@ -1,0 +1,284 @@
+"""Real-file spill backend for streaming external sorts (DESIGN.md §6).
+
+The simulated pipeline (:mod:`repro.sort.external`) charges I/O to an
+analytic disk clock; this module is its real-I/O twin for the CLI: runs
+are spilled to newline-delimited temporary files *as the generator
+produces them*, and the merge phase consumes them through lazy buffered
+readers, ``fan_in`` at a time.  Peak resident memory is therefore
+O(memory_capacity + fan_in * buffer_records) regardless of the input
+size — the whole point of external sorting — where the previous CLI
+path materialised every run and the merged output as Python lists.
+
+The backend instruments its own laziness: :attr:`FileSpillSort.
+max_resident_records` tracks the largest number of records ever held in
+read buffers at once and :attr:`FileSpillSort.max_open_readers` the
+widest concurrent reader fan-in, so tests can assert the bounded-memory
+property instead of trusting it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from itertools import islice
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.merge.kway import MergeCounter, kway_merge
+from repro.merge.merge_tree import DEFAULT_FAN_IN
+from repro.runs.base import RunGenerator
+from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
+
+#: Records decoded per read chunk of one run reader.
+DEFAULT_BUFFER_RECORDS = 4096
+
+
+class _SortSession:
+    """Per-``sort()`` state: temp directory and laziness accounting.
+
+    Each call to :meth:`FileSpillSort.sort` owns one session, so
+    overlapping or abandoned sorts on the same backend never share a
+    temp directory or cross-wire each other's instrumentation.
+    """
+
+    def __init__(self, work_dir: str) -> None:
+        self.work_dir = work_dir
+        self.next_spill_id = 0
+        self.merge_passes = 0
+        self.resident = 0
+        self.open_readers = 0
+        self.max_resident_records = 0
+        self.max_open_readers = 0
+
+    def spill_path(self) -> str:
+        path = os.path.join(self.work_dir, f"run-{self.next_spill_id:06d}.txt")
+        self.next_spill_id += 1
+        return path
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.work_dir, ignore_errors=True)
+
+    # -- laziness instrumentation ----------------------------------------------
+
+    def buffer_grew(self, n: int) -> None:
+        self.resident += n
+        if self.resident > self.max_resident_records:
+            self.max_resident_records = self.resident
+
+    def buffer_shrank(self, n: int) -> None:
+        self.resident -= n
+
+    def reader_opened(self) -> None:
+        self.open_readers += 1
+        if self.open_readers > self.max_open_readers:
+            self.max_open_readers = self.open_readers
+
+    def reader_closed(self) -> None:
+        self.open_readers -= 1
+
+
+class SpilledRun:
+    """One sorted run stored in a real temporary file.
+
+    Records are one per line, written with the sorter's ``encode`` and
+    read back with its ``decode``.  :meth:`records` is a lazy reader
+    that holds at most ``buffer_records`` decoded records at a time and
+    deletes the file once it is fully consumed.
+    """
+
+    def __init__(
+        self,
+        sorter: "FileSpillSort",
+        session: _SortSession,
+        path: str,
+        length: int,
+    ) -> None:
+        self._sorter = sorter
+        self._session = session
+        self.path = path
+        self.length = length
+
+    def records(self) -> Iterator[Any]:
+        """Yield the run's records in order, buffered and lazily."""
+        session = self._session
+        decode = self._sorter.decode
+        chunk_records = self._sorter.buffer_records
+        session.reader_opened()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                while True:
+                    chunk = [
+                        decode(line) for line in islice(handle, chunk_records)
+                    ]
+                    if not chunk:
+                        break
+                    session.buffer_grew(len(chunk))
+                    try:
+                        yield from chunk
+                    finally:
+                        session.buffer_shrank(len(chunk))
+        finally:
+            session.reader_closed()
+        self.discard()
+
+    def discard(self) -> None:
+        """Delete the backing file (idempotent)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+class FileSpillSort:
+    """Streaming external sort over real temporary files.
+
+    Parameters
+    ----------
+    generator:
+        Any :class:`~repro.runs.base.RunGenerator`; each run it yields
+        is written to its own temp file immediately and freed.
+    fan_in:
+        Maximum runs merged simultaneously; with more runs than this,
+        intermediate merge passes write new spilled runs first.
+    buffer_records:
+        Decoded records each run reader holds at a time.
+    tmp_dir:
+        Parent directory for the per-sort temp directory (system
+        default when None).
+    encode / decode:
+        Record <-> line serialisation (integers by default, matching
+        the CLI's key format).
+    cpu_op_time:
+        Simulated seconds per analytic CPU op, for the report's
+        ``cpu_time`` alongside the measured wall times.
+
+    :attr:`report`, :attr:`merge_passes`, :attr:`max_resident_records`
+    and :attr:`max_open_readers` describe the most recently *finished*
+    sort (each ``sort()`` call keeps its own private state while
+    running, so overlapping sorts do not interfere).
+    """
+
+    def __init__(
+        self,
+        generator: RunGenerator,
+        fan_in: int = DEFAULT_FAN_IN,
+        buffer_records: int = DEFAULT_BUFFER_RECORDS,
+        tmp_dir: Optional[str] = None,
+        encode: Callable[[Any], str] = str,
+        decode: Callable[[str], Any] = int,
+        cpu_op_time: float = DEFAULT_CPU_OP_TIME,
+    ) -> None:
+        if fan_in < 2:
+            raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+        if buffer_records < 1:
+            raise ValueError(
+                f"buffer_records must be >= 1, got {buffer_records}"
+            )
+        self.generator = generator
+        self.fan_in = fan_in
+        self.buffer_records = buffer_records
+        self.tmp_dir = tmp_dir
+        self.encode = encode
+        self.decode = decode
+        self.cpu_op_time = cpu_op_time
+        #: Final :class:`SortReport`; set once a sort is fully consumed.
+        self.report: Optional[SortReport] = None
+        #: Merge passes of the last sort (1 = single lazy merge).
+        self.merge_passes = 0
+        self.max_resident_records = 0
+        self.max_open_readers = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def sort(self, records: Iterable[Any]) -> Iterator[Any]:
+        """Lazily yield ``records`` in ascending order.
+
+        Runs are spilled to disk as they are generated; the returned
+        iterator streams the merged output.  :attr:`report` holds the
+        phase timings once the iterator is exhausted.  Abandoning the
+        iterator mid-sort still removes all temporary files.
+        """
+        session = _SortSession(
+            tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir)
+        )
+        counter = MergeCounter()
+        try:
+            started = time.perf_counter()
+            runs = [
+                self._spill_run(session, run)
+                for run in self.generator.generate_runs(records)
+            ]
+            run_wall = time.perf_counter() - started
+            # Snapshot now: a later sort() on the same generator resets
+            # its stats while this sort's merge is still streaming.
+            stats = self.generator.stats
+            report = SortReport(
+                algorithm=self.generator.name,
+                records=stats.records_in,
+                runs=stats.runs_out,
+                run_lengths=list(stats.run_lengths),
+            )
+            report.run_phase = PhaseReport(
+                cpu_ops=stats.cpu_ops,
+                cpu_time=stats.cpu_ops * self.cpu_op_time,
+                wall_time=run_wall,
+            )
+
+            started = time.perf_counter()
+            session.merge_passes = 1
+            while len(runs) > self.fan_in:
+                session.merge_passes += 1
+                runs = [
+                    # A trailing singleton group needs no merging:
+                    # carry the run forward instead of rewriting it.
+                    group[0]
+                    if len(group) == 1
+                    else self._merge_to_file(session, group, counter)
+                    for group in (
+                        runs[i : i + self.fan_in]
+                        for i in range(0, len(runs), self.fan_in)
+                    )
+                ]
+            yield from kway_merge([run.records() for run in runs], counter)
+            merge_wall = time.perf_counter() - started
+
+            report.merge_phase = PhaseReport(
+                cpu_ops=counter.cpu_ops,
+                cpu_time=counter.cpu_ops * self.cpu_op_time,
+                wall_time=merge_wall,
+            )
+            self.report = report
+        finally:
+            self.merge_passes = session.merge_passes
+            self.max_resident_records = session.max_resident_records
+            self.max_open_readers = session.max_open_readers
+            session.cleanup()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _spill_run(
+        self, session: _SortSession, run: Sequence[Any]
+    ) -> SpilledRun:
+        """Write one generated run to its own temp file."""
+        path = session.spill_path()
+        encode = self.encode
+        with open(path, "w", encoding="utf-8") as out:
+            out.writelines(f"{encode(record)}\n" for record in run)
+        return SpilledRun(self, session, path, len(run))
+
+    def _merge_to_file(
+        self,
+        session: _SortSession,
+        group: Sequence[SpilledRun],
+        counter: MergeCounter,
+    ) -> SpilledRun:
+        """One intermediate merge pass node: group -> new spilled run."""
+        path = session.spill_path()
+        encode = self.encode
+        length = 0
+        with open(path, "w", encoding="utf-8") as out:
+            for record in kway_merge([run.records() for run in group], counter):
+                out.write(f"{encode(record)}\n")
+                length += 1
+        return SpilledRun(self, session, path, length)

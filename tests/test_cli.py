@@ -64,12 +64,61 @@ class TestSortCommand:
         assert main(["sort", "-"]) == 0
         assert capsys.readouterr().out.splitlines() == ["1", "2", "3"]
 
+    def test_sort_does_not_close_stdin(self, monkeypatch, capsys):
+        # Regression: `with _open_input(None)` used to close sys.stdin.
+        fake = io.StringIO("2\n1\n")
+        monkeypatch.setattr("sys.stdin", fake)
+        assert main(["sort"]) == 0
+        assert not fake.closed
+        assert capsys.readouterr().out.splitlines() == ["1", "2"]
+
+    def test_sort_report_flag(self, input_file, capsys):
+        path, expected = input_file
+        assert main(["sort", "--memory", "16", "--report", str(path)]) == 0
+        captured = capsys.readouterr()
+        got = [int(line) for line in captured.out.splitlines()]
+        assert got == expected
+        assert "cpu_ops=" in captured.err
+        assert "wall=" in captured.err
+        assert "peak_buffered=" in captured.err
+
+    def test_sort_custom_fan_in(self, input_file, capsys):
+        path, expected = input_file
+        assert main(["sort", "--memory", "16", "--fan-in", "2", str(path)]) == 0
+        got = [int(line) for line in capsys.readouterr().out.splitlines()]
+        assert got == expected
+
+    def test_invalid_fan_in_rejected_cleanly(self, input_file):
+        path, _ = input_file
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--fan-in", "1", str(path)])
+
+    def test_invalid_merge_buffer_rejected_cleanly(self, input_file):
+        path, _ = input_file
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--merge-buffer", "0", str(path)])
+
 
 class TestRunsCommand:
     def test_reports_all_algorithms(self, input_file, capsys):
         path, _ = input_file
         assert main(["runs", "--memory", "16", str(path)]) == 0
         out = capsys.readouterr().out
+        for name in ("RS", "2WRS", "LSS", "BRS"):
+            assert name in out
+
+    def test_runs_does_not_close_stdin(self, monkeypatch, capsys):
+        fake = io.StringIO("3\n1\n2\n")
+        monkeypatch.setattr("sys.stdin", fake)
+        assert main(["runs", "--memory", "16"]) == 0
+        assert not fake.closed
+
+    def test_runs_report_adds_timings(self, input_file, capsys):
+        path, _ = input_file
+        assert main(["runs", "--memory", "16", "--report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run time" in out
+        assert "total time" in out
         for name in ("RS", "2WRS", "LSS", "BRS"):
             assert name in out
 

@@ -143,6 +143,73 @@ class TestOutputHeuristics:
         assert sides == {Side.TOP, Side.BOTTOM}
 
 
+class CountingStats:
+    """Fake statistics provider recording how often it is consulted."""
+
+    def __init__(self, mean=42.0, median=40, sample=(39, 40, 45)):
+        self.calls = {"mean": 0, "median": 0, "sample": 0}
+        self._mean = mean
+        self._median = median
+        self._sample = list(sample)
+
+    def mean(self):
+        self.calls["mean"] += 1
+        return self._mean
+
+    def median(self):
+        self.calls["median"] += 1
+        return self._median
+
+    def sample(self):
+        self.calls["sample"] += 1
+        return self._sample
+
+
+class TestLazyContext:
+    def test_construction_computes_nothing(self):
+        stats = CountingStats()
+        ctx(stats=stats)
+        assert stats.calls == {"mean": 0, "median": 0, "sample": 0}
+
+    def test_statistics_fetched_on_first_access_only(self):
+        stats = CountingStats()
+        c = ctx(stats=stats)
+        assert c.input_mean == pytest.approx(42.0)
+        assert c.input_mean == pytest.approx(42.0)
+        assert stats.calls["mean"] == 1
+        assert stats.calls["median"] == 0
+        assert c.input_median == 40
+        assert stats.calls["median"] == 1
+
+    def test_explicit_values_bypass_provider(self):
+        stats = CountingStats()
+        c = ctx(input_mean=7.0, stats=stats)
+        assert c.input_mean == pytest.approx(7.0)
+        assert stats.calls["mean"] == 0
+
+    def test_without_provider_statistics_are_none(self):
+        c = ctx()
+        assert c.input_mean is None
+        assert c.input_median is None
+        assert c.input_sample is None
+
+    def test_non_stats_heuristics_never_touch_provider(self):
+        stats = CountingStats()
+        for name in ("random", "alternate", "useful", "balancing"):
+            h = make_input_heuristic(name)
+            h.choose(0, ctx(stats=stats))
+        for name in ("random", "alternate", "useful", "balancing",
+                     "min_distance"):
+            h = make_output_heuristic(name)
+            h.choose(ctx(stats=stats))
+        assert stats.calls == {"mean": 0, "median": 0, "sample": 0}
+
+    def test_mean_heuristic_reads_only_the_mean(self):
+        stats = CountingStats()
+        make_input_heuristic("mean").choose(50, ctx(stats=stats))
+        assert stats.calls == {"mean": 1, "median": 0, "sample": 0}
+
+
 class TestUsefulness:
     def test_usefulness_definition(self):
         c = ctx(top_size=4, bottom_size=2, top_outputs=8, bottom_outputs=8)

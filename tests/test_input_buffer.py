@@ -58,6 +58,52 @@ class TestStatistics:
         assert buffer.median() is None
 
 
+class TestMemoization:
+    def test_statistics_not_computed_until_asked(self):
+        buffer = InputBuffer(iter(range(100)), capacity=8)
+        for _ in range(50):
+            buffer.next()
+        assert buffer.mean_computations == 0
+        assert buffer.median_computations == 0
+
+    def test_mean_computed_once_per_generation(self):
+        buffer = InputBuffer(iter(range(100)), capacity=8)
+        first = buffer.mean()
+        assert buffer.mean() == first
+        assert buffer.mean_computations == 1
+        buffer.next()  # mutation invalidates the cache
+        buffer.mean()
+        assert buffer.mean_computations == 2
+
+    def test_median_computed_once_per_generation(self):
+        buffer = InputBuffer(iter([9, 1, 5, 7]), capacity=4)
+        assert buffer.median() == 5
+        assert buffer.median() == 5
+        assert buffer.median_computations == 1
+        buffer.next()
+        buffer.median()
+        assert buffer.median_computations == 2
+
+    def test_cache_invalidated_on_mutation(self):
+        buffer = InputBuffer(iter([10, 20, 30, 40]), capacity=2)
+        assert buffer.mean() == pytest.approx(15.0)
+        buffer.next()  # buffer now {20, 30}
+        assert buffer.mean() == pytest.approx(25.0)
+
+    def test_generation_advances_with_reads(self):
+        buffer = InputBuffer(iter(range(10)), capacity=3)
+        before = buffer.generation
+        buffer.next()
+        assert buffer.generation > before
+
+    def test_sample_memoized_between_mutations(self):
+        buffer = InputBuffer(iter(range(10)), capacity=3)
+        assert buffer.sample() is buffer.sample()
+        snapshot = buffer.sample()
+        buffer.next()
+        assert buffer.sample() is not snapshot
+
+
 class TestShadowWindow:
     def test_zero_capacity_passthrough(self):
         buffer = InputBuffer(iter([3, 1, 2]), capacity=0)

@@ -1,5 +1,7 @@
 """Tests for dynamic memory adjustment (Section 3.7.3)."""
 
+import threading
+
 import pytest
 
 from repro.sort.memory_broker import (
@@ -64,6 +66,45 @@ class TestMemoryBroker:
         broker.enqueue("second", 30, WaitSituation.LATER_RUNS)
         broker.release("holder", 30)
         assert broker.grant_waiting() == ["first"]
+
+    def test_enqueue_dedups_per_owner(self):
+        # Regression: a starved owner re-asking every quantum used to
+        # stack requests and be granted all of them at once.
+        broker = MemoryBroker(100)
+        broker.try_allocate("holder", 100)
+        for _ in range(5):
+            broker.enqueue("starved", 30, WaitSituation.LATER_RUNS)
+        assert broker.waiting == ["starved"]
+        broker.release("holder")
+        assert broker.grant_waiting() == ["starved"]
+        assert broker.allocated["starved"] == 30
+
+    def test_reenqueue_keeps_fifo_stamp(self):
+        broker = MemoryBroker(100)
+        broker.try_allocate("holder", 100)
+        broker.enqueue("first", 40, WaitSituation.LATER_RUNS)
+        broker.enqueue("second", 40, WaitSituation.LATER_RUNS)
+        broker.enqueue("first", 50, WaitSituation.LATER_RUNS)  # update
+        broker.release("holder", 50)
+        assert broker.grant_waiting() == ["first"]
+        assert broker.allocated["first"] == 50
+
+    def test_grant_clamped_to_maximum(self):
+        broker = MemoryBroker(200)
+        broker.try_allocate("a", 50)
+        broker.try_allocate("holder", 150)
+        broker.enqueue("a", 40, WaitSituation.LATER_RUNS, maximum=60)
+        broker.release("holder")
+        assert broker.grant_waiting() == ["a"]
+        assert broker.allocated["a"] == 60  # clamped: 50 + min(40, 10)
+
+    def test_request_at_cap_dropped(self):
+        broker = MemoryBroker(200)
+        broker.try_allocate("a", 60)
+        broker.enqueue("a", 40, WaitSituation.LATER_RUNS, maximum=60)
+        assert broker.grant_waiting() == []
+        assert broker.waiting == []
+        assert broker.allocated["a"] == 60
 
 
 def make_jobs(big=40_000, smalls=3):
@@ -134,3 +175,109 @@ class TestConcurrentSimulator:
         sim = ConcurrentSortSimulator(jobs, total_memory=1_024, dynamic=True)
         sim.run()
         assert max(jobs[0].runs) >= 512
+
+
+class RecordingBroker(MemoryBroker):
+    """Broker that records every owner's high-water allocation."""
+
+    def __init__(self, total):
+        super().__init__(total)
+        self.high_water = {}
+
+    def try_allocate(self, owner, amount):
+        granted = super().try_allocate(owner, amount)
+        if granted:
+            held = self.allocated.get(owner, 0)
+            if held > self.high_water.get(owner, 0):
+                self.high_water[owner] = held
+        return granted
+
+
+class TestAllocationCaps:
+    def test_allocations_never_exceed_maximum(self):
+        # Regression: stacked duplicate requests from a starved job used
+        # to push its allocation past maximum_memory once memory freed.
+        jobs = make_jobs(big=20_000, smalls=3)
+        sim = ConcurrentSortSimulator(jobs, total_memory=2_048, dynamic=True)
+        sim.broker = RecordingBroker(2_048)
+        sim.run()
+        maxima = {job.name: job.maximum_memory for job in jobs}
+        for owner, peak in sim.broker.high_water.items():
+            assert peak <= maxima[owner], (
+                f"{owner} reached {peak} > maximum {maxima[owner]}"
+            )
+
+    def test_pool_never_oversubscribed(self):
+        jobs = make_jobs(big=20_000, smalls=3)
+        sim = ConcurrentSortSimulator(jobs, total_memory=1_024, dynamic=True)
+        sim.broker = RecordingBroker(1_024)
+        sim.run()
+        assert sum(sim.broker.high_water.values()) >= 0  # ran to completion
+        assert all(peak <= 1_024 for peak in sim.broker.high_water.values())
+
+
+class TestTinyPoolTermination:
+    @staticmethod
+    def _run_guarded(sim, timeout=15.0):
+        """Run the simulator in a thread so a livelock fails the test
+        with a timeout instead of hanging the whole suite."""
+        outcome = {}
+
+        def target():
+            try:
+                outcome["result"] = sim.run()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(timeout)
+        assert not thread.is_alive(), "simulator livelocked (no progress)"
+        return outcome
+
+    def test_pool_below_every_minimum_raises(self):
+        jobs = [
+            SortJob(
+                name="a",
+                records=list(random_input(500, seed=1)),
+                minimum_memory=64,
+            ),
+            SortJob(
+                name="b",
+                records=list(random_input(500, seed=2)),
+                minimum_memory=64,
+            ),
+        ]
+        sim = ConcurrentSortSimulator(jobs, total_memory=32, dynamic=True)
+        outcome = self._run_guarded(sim)
+        assert isinstance(outcome.get("error"), RuntimeError)
+        assert "minimum" in str(outcome["error"])
+
+    def test_pool_below_every_minimum_raises_static(self):
+        jobs = [
+            SortJob(
+                name="a",
+                records=list(random_input(500, seed=1)),
+                minimum_memory=64,
+            ),
+        ]
+        sim = ConcurrentSortSimulator(jobs, total_memory=16, dynamic=False)
+        outcome = self._run_guarded(sim)
+        assert isinstance(outcome.get("error"), RuntimeError)
+
+    def test_pool_fitting_one_minimum_still_finishes(self):
+        # 96 records fits one job's minimum at a time: jobs must be
+        # served serially rather than raising or spinning.
+        jobs = [
+            SortJob(
+                name=f"j{i}",
+                records=list(random_input(300, seed=i)),
+                minimum_memory=64,
+                maximum_memory=128,
+            )
+            for i in range(3)
+        ]
+        sim = ConcurrentSortSimulator(jobs, total_memory=96, dynamic=True)
+        outcome = self._run_guarded(sim)
+        assert "error" not in outcome
+        assert all(t is not None for t in outcome["result"].values())

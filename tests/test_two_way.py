@@ -265,3 +265,60 @@ def test_2wrs_matches_rs_on_sorted_prefixes(seed, memory):
     rs = list(ReplacementSelection(memory).generate_runs(data))
     twrs = runs_of(memory, data)
     assert rs == twrs == [data]
+
+
+class TestLazyStatistics:
+    """The acceptance property: heuristics that ignore the distribution
+    statistics trigger zero mean/median computations end-to-end."""
+
+    @staticmethod
+    def _run(input_heuristic, output_heuristic="random"):
+        config = TwoWayConfig(
+            buffer_setup="both",
+            buffer_fraction=0.1,
+            input_heuristic=input_heuristic,
+            output_heuristic=output_heuristic,
+            seed=11,
+        )
+        algo = TwoWayReplacementSelection(100, config)
+        algo.count_runs(random_input(3_000, seed=11))
+        return algo.last_input_buffer
+
+    @pytest.mark.parametrize(
+        "input_heuristic", ["random", "alternate", "useful", "balancing"]
+    )
+    def test_stat_blind_heuristics_compute_nothing(self, input_heuristic):
+        buffer = self._run(input_heuristic)
+        assert buffer.mean_computations == 0
+        assert buffer.median_computations == 0
+
+    def test_mean_heuristic_computes_only_means(self):
+        buffer = self._run("mean")
+        assert buffer.mean_computations > 0
+        assert buffer.median_computations == 0
+        # Memoization bound: at most one computation per mutation, far
+        # fewer than one per routing decision.
+        assert buffer.mean_computations <= 2 * buffer.records_read + 2
+
+    def test_median_heuristic_computes_only_medians(self):
+        buffer = self._run("median")
+        assert buffer.median_computations > 0
+        assert buffer.mean_computations == 0
+
+    def test_laziness_preserves_results(self):
+        """Lazy statistics must not change what the algorithm produces."""
+        config = TwoWayConfig(
+            buffer_setup="both",
+            buffer_fraction=0.1,
+            input_heuristic="mean",
+            output_heuristic="random",
+            seed=4,
+        )
+        data = list(mixed_balanced_input(5_000, seed=4))
+        runs = list(
+            TwoWayReplacementSelection(200, config).generate_runs(iter(data))
+        )
+        flat = sorted(record for run in runs for record in run)
+        assert flat == sorted(data)
+        for run in runs:
+            assert run == sorted(run)
