@@ -5,6 +5,13 @@ Examples::
     # external-sort newline-separated integers
     python -m repro.cli sort --algorithm 2wrs --memory 1000 in.txt -o out.txt
 
+    # same sort, partitioned across 4 worker processes sharing the
+    # 1000-record memory budget through the memory broker
+    python -m repro.cli sort --memory 1000 --workers 4 in.txt -o out.txt
+
+    # range-partition instead of hash, with per-worker phase timings
+    python -m repro.cli sort --workers 4 --partition range --report in.txt
+
     # compare run generation across algorithms without sorting
     python -m repro.cli runs --memory 1000 in.txt
 
@@ -23,20 +30,15 @@ import sys
 from contextlib import nullcontext
 from typing import ContextManager, Iterator, List, Optional, TextIO
 
-from repro.core.config import RECOMMENDED, TwoWayConfig
+from repro.core.config import ALGORITHMS, GeneratorSpec, RECOMMENDED, TwoWayConfig
 from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
-from repro.core.two_way import TwoWayReplacementSelection
 from repro.experiments import EXPERIMENTS
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import RunGenerator
-from repro.runs.batched import BatchedReplacementSelection
-from repro.runs.load_sort_store import LoadSortStore
-from repro.runs.replacement_selection import ReplacementSelection
 from repro.sort.external import ExternalSort
+from repro.sort.parallel import PARTITION_STRATEGIES, PartitionedSort
 from repro.sort.spill import DEFAULT_BUFFER_RECORDS, FileSpillSort
 from repro.workloads.generators import DISTRIBUTIONS, make_input
-
-ALGORITHMS = ("rs", "2wrs", "lss", "brs")
 
 
 def _read_keys(handle: TextIO) -> Iterator[int]:
@@ -46,21 +48,23 @@ def _read_keys(handle: TextIO) -> Iterator[int]:
             yield int(line)
 
 
-def _make_generator(args: argparse.Namespace) -> RunGenerator:
-    if args.algorithm == "rs":
-        return ReplacementSelection(args.memory)
-    if args.algorithm == "lss":
-        return LoadSortStore(args.memory)
-    if args.algorithm == "brs":
-        return BatchedReplacementSelection(args.memory)
-    config = TwoWayConfig(
-        buffer_setup=args.buffer_setup,
-        buffer_fraction=args.buffer_fraction,
-        input_heuristic=args.input_heuristic,
-        output_heuristic=args.output_heuristic,
-        seed=args.seed,
+def _make_spec(args: argparse.Namespace) -> GeneratorSpec:
+    two_way = None
+    if args.algorithm == "2wrs":
+        two_way = TwoWayConfig(
+            buffer_setup=args.buffer_setup,
+            buffer_fraction=args.buffer_fraction,
+            input_heuristic=args.input_heuristic,
+            output_heuristic=args.output_heuristic,
+            seed=args.seed,
+        )
+    return GeneratorSpec(
+        algorithm=args.algorithm, memory=args.memory, two_way=two_way
     )
-    return TwoWayReplacementSelection(args.memory, config)
+
+
+def _make_generator(args: argparse.Namespace) -> RunGenerator:
+    return _make_spec(args).build()
 
 
 def _open_input(path: Optional[str]) -> ContextManager[TextIO]:
@@ -81,6 +85,8 @@ def _open_output(path: Optional[str]) -> ContextManager[TextIO]:
 
 
 def cmd_sort(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _sort_parallel(args)
     generator = _make_generator(args)
     sorter = FileSpillSort(
         generator, fan_in=args.fan_in, buffer_records=args.merge_buffer
@@ -91,14 +97,66 @@ def cmd_sort(args: argparse.Namespace) -> int:
         # all runs (or of the merged output) is ever materialised.
         for key in sorter.sort(_read_keys(handle)):
             out.write(f"{key}\n")
-    print(
-        f"{generator.name}: {generator.stats.records_in} records in "
-        f"{generator.stats.runs_out} runs "
-        f"(avg {generator.stats.average_run_length:.0f} records)",
-        file=sys.stderr,
-    )
     if args.report and sorter.report is not None:
+        # summary() opens with the same records/runs header line, so
+        # the plain stats line would print twice with --report.
         print(sorter.report.summary(), file=sys.stderr)
+        print(
+            f"  spill  passes={sorter.merge_passes}  "
+            f"peak_buffered={sorter.max_resident_records} records  "
+            f"readers<={sorter.max_open_readers}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"{generator.name}: {generator.stats.records_in} records in "
+            f"{generator.stats.runs_out} runs "
+            f"(avg {generator.stats.average_run_length:.0f} records)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _sort_parallel(args: argparse.Namespace) -> int:
+    """`sort --workers N`: partitioned sort across worker processes."""
+    sorter = PartitionedSort(
+        _make_spec(args),
+        workers=args.workers,
+        partition=args.partition,
+        fan_in=args.fan_in,
+        buffer_records=args.merge_buffer,
+    )
+    with _open_input(args.input) as handle, _open_output(args.output) as out:
+        for key in sorter.sort(_read_keys(handle)):
+            out.write(f"{key}\n")
+    report = sorter.report
+    if not args.report:
+        print(
+            f"{report.algorithm}: {report.records} records in "
+            f"{report.runs} runs "
+            f"(avg {report.average_run_length:.0f} records)",
+            file=sys.stderr,
+        )
+    else:
+        # Combined report (opens with the same records/runs header;
+        # cpu_ops summed across shards, wall times measured in the
+        # parent), then one line per worker.
+        print(report.summary(), file=sys.stderr)
+        print(
+            f"  partition strategy={sorter.partition}  "
+            f"wall={sorter.partition_wall:.3f}s  "
+            f"shards={sorter.shard_records}",
+            file=sys.stderr,
+        )
+        for i, worker in enumerate(sorter.worker_reports):
+            print(
+                f"  worker {i}: {worker.records} records in "
+                f"{worker.runs} runs  "
+                f"memory={sorter.granted_memories[i]}  "
+                f"run_wall={worker.run_phase.wall_time:.3f}s  "
+                f"merge_wall={worker.merge_phase.wall_time:.3f}s",
+                file=sys.stderr,
+            )
         print(
             f"  spill  passes={sorter.merge_passes}  "
             f"peak_buffered={sorter.max_resident_records} records  "
@@ -203,6 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_BUFFER_RECORDS,
                         help="records buffered per run reader during the "
                              f"merge (default {DEFAULT_BUFFER_RECORDS})")
+    p_sort.add_argument("--workers", type=_positive_int, default=1,
+                        help="partition the input and sort the shards in "
+                             "this many worker processes; they share the "
+                             "--memory budget through the memory broker "
+                             "(default 1 = serial)")
+    p_sort.add_argument("--partition", choices=PARTITION_STRATEGIES,
+                        default="hash",
+                        help="how records map to workers: 'hash' balances "
+                             "any distribution, 'range' gives each worker "
+                             "a disjoint key band from sampled cut points "
+                             "(default hash)")
     p_sort.add_argument("input", nargs="?", help="input file ('-' = stdin)")
     p_sort.add_argument("-o", "--output", help="output file (default stdout)")
     p_sort.set_defaults(func=cmd_sort)

@@ -13,8 +13,11 @@ are the three parameterisations compared against RS in Table 5.13.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runs.base import RunGenerator
 
 #: Valid buffer setups (factor i levels 0..2 of Table 5.1).
 BUFFER_SETUPS = ("input", "both", "victim")
@@ -77,6 +80,63 @@ class TwoWayConfig:
             victim_records = buffer_records
         heap_records = memory_capacity - input_records - victim_records
         return heap_records, input_records, victim_records
+
+
+#: Run-generation algorithms instantiable from a :class:`GeneratorSpec`.
+ALGORITHMS = ("rs", "2wrs", "lss", "brs")
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorSpec:
+    """Picklable description of how to build a run generator.
+
+    A :class:`~repro.runs.base.RunGenerator` holds heaps, buffers, and
+    live stats, none of which should cross a process boundary; a spec
+    is the plain-data recipe instead.  The parallel partitioned sort
+    ships one spec to every worker process (spawn-safe) and each worker
+    builds its own private generator from it.
+
+    Attributes
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS` ("rs", "2wrs", "lss", "brs").
+    memory:
+        Working memory in records for the built generator.
+    two_way:
+        2WRS factor configuration; ignored by the other algorithms.
+    """
+
+    algorithm: str = "2wrs"
+    memory: int = 10_000
+    two_way: Optional[TwoWayConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.memory < 1:
+            raise ValueError(f"memory must be >= 1, got {self.memory}")
+
+    def with_memory(self, memory: int) -> "GeneratorSpec":
+        """The same spec under a different memory grant."""
+        return replace(self, memory=memory)
+
+    def build(self) -> "RunGenerator":
+        """Instantiate a fresh generator described by this spec."""
+        # Imported here: the generator modules import this module.
+        from repro.core.two_way import TwoWayReplacementSelection
+        from repro.runs.batched import BatchedReplacementSelection
+        from repro.runs.load_sort_store import LoadSortStore
+        from repro.runs.replacement_selection import ReplacementSelection
+
+        if self.algorithm == "rs":
+            return ReplacementSelection(self.memory)
+        if self.algorithm == "lss":
+            return LoadSortStore(self.memory)
+        if self.algorithm == "brs":
+            return BatchedReplacementSelection(self.memory)
+        return TwoWayReplacementSelection(self.memory, self.two_way)
 
 
 #: Section 5.3: both buffers, 2 % of memory, Mean input, Random output.

@@ -63,6 +63,12 @@ class InputBuffer:
         # heuristic costs O(log n) bookkeeping per record instead of an
         # O(n log n) re-sort per lookup.  None = never asked for.
         self._sorted_queue: Optional[List[Any]] = None
+        # Running sum of the queue, activated by the first mean() call
+        # (same pattern): the generation changes on every record, so
+        # without it each mean() would re-sum the whole buffer.  Exact
+        # for the paper's integer keys.  None = never asked for, or
+        # non-numeric keys.
+        self._queue_sum: Optional[Any] = None
         self._fill()
 
     def _pull(self) -> Optional[Any]:
@@ -92,12 +98,16 @@ class InputBuffer:
             head = self._queue.popleft()
             if self._sorted_queue is not None:
                 del self._sorted_queue[bisect_left(self._sorted_queue, head)]
+            if self._queue_sum is not None:
+                self._queue_sum -= head
             self.generation += 1
             refill = self._pull()
             if refill is not None:
                 self._queue.append(refill)
                 if self._sorted_queue is not None:
                     insort(self._sorted_queue, refill)
+                if self._queue_sum is not None:
+                    self._queue_sum += refill
             return head
         return self._pull()
 
@@ -125,15 +135,29 @@ class InputBuffer:
         flip while order-based heuristics keep working).
         """
         if self._mean_cache is None or self._mean_cache[0] != self.generation:
-            values = self.sample()
             result: Optional[float]
-            if not values:
-                result = None
+            if self._queue:
+                # First call sums the buffer once and activates the
+                # running sum; later calls are O(1) per record.
+                if self._queue_sum is None:
+                    try:
+                        self._queue_sum = sum(self._queue)
+                    except TypeError:
+                        self._queue_sum = None
+                result = (
+                    self._queue_sum / len(self._queue)
+                    if self._queue_sum is not None
+                    else None
+                )
             else:
-                try:
-                    result = sum(values) / len(values)
-                except TypeError:
+                values = self.sample()
+                if not values:
                     result = None
+                else:
+                    try:
+                        result = sum(values) / len(values)
+                    except TypeError:
+                        result = None
             self.mean_computations += 1
             self._mean_cache = (self.generation, result)
         return self._mean_cache[1]

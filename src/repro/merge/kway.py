@@ -8,7 +8,7 @@ exactly as in the paper's worked example (Figures 2.1-2.3).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.heaps.binary_heap import BinaryHeap
 from repro.runs.base import log_cost
@@ -68,6 +68,39 @@ def kway_merge(
             heap.pop()
         else:
             heap.replace((head, index))
+
+
+def reduce_to_fan_in(
+    runs: Sequence[Any],
+    fan_in: int,
+    merge_group: Callable[[Sequence[Any]], Any],
+) -> Tuple[List[Any], int]:
+    """Schedule intermediate merge passes until ``fan_in`` runs remain.
+
+    This is the pass structure of a merge tree over *abstract* runs:
+    each pass groups the surviving runs ``fan_in`` at a time and calls
+    ``merge_group`` to combine one group into one new run.  A trailing
+    singleton group is carried forward untouched — merging one run
+    would only copy it.  Both the file-spill backend and the parallel
+    partitioned sort drive their real-I/O passes through this function.
+
+    Returns ``(runs, extra_passes)`` where ``runs`` has at most
+    ``fan_in`` entries ready for a final (usually streaming) merge and
+    ``extra_passes`` counts the intermediate passes performed.
+    """
+    if fan_in < 2:
+        raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+    level = list(runs)
+    passes = 0
+    while len(level) > fan_in:
+        passes += 1
+        level = [
+            group[0] if len(group) == 1 else merge_group(group)
+            for group in (
+                level[i : i + fan_in] for i in range(0, len(level), fan_in)
+            )
+        ]
+    return level, passes
 
 
 def merge_runs(runs: Sequence[Sequence[Any]]) -> List[Any]:

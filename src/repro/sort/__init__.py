@@ -15,9 +15,17 @@ from repro.sort.hierarchical import (
 from repro.sort.memory_broker import (
     ConcurrentSortSimulator,
     MemoryBroker,
+    SharedMemoryBroker,
     SortJob,
     WaitSituation,
 )
+from repro.sort.parallel import (
+    PARTITION_STRATEGIES,
+    PartitionedSort,
+    hash_shard,
+    range_cut_points,
+)
+from repro.sort.spill import FileSpillSort, SpilledRun
 from repro.sort.external import (
     DEFAULT_CPU_OP_TIME,
     ExternalSort,
@@ -28,12 +36,19 @@ from repro.sort.external import (
 __all__ = [
     "ConcurrentSortSimulator",
     "DEFAULT_CPU_OP_TIME",
+    "FileSpillSort",
     "HierarchicalSorter",
     "MemoryBroker",
+    "PARTITION_STRATEGIES",
+    "PartitionedSort",
+    "SharedMemoryBroker",
     "SortJob",
+    "SpilledRun",
     "TreeNode",
     "WaitSituation",
+    "hash_shard",
     "parse",
+    "range_cut_points",
     "serialize",
     "ExternalDistributionSort",
     "ExternalSort",

@@ -20,8 +20,11 @@ throughput — can be measured (see ``benchmarks/bench_ablation_memory.py``).
 from __future__ import annotations
 
 import math
+import multiprocessing
+import threading
 from dataclasses import dataclass, field
 from enum import IntEnum
+from multiprocessing.managers import BaseManager
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runs.base import log_cost
@@ -50,6 +53,12 @@ PRIORITY_ORDER = (
 class MemoryBroker:
     """A shared memory pool with prioritised waiting.
 
+    All mutating methods are serialised behind an internal lock, so the
+    accounting stays exact when the broker is hosted in a manager
+    process (:class:`SharedMemoryBroker`) and hammered concurrently
+    from several worker processes, each proxy call running in its own
+    server thread.
+
     Parameters
     ----------
     total:
@@ -61,32 +70,67 @@ class MemoryBroker:
             raise ValueError(f"total must be >= 1, got {total}")
         self.total = total
         self.allocated: Dict[Any, int] = {}
+        self.peak_allocated = 0
+        #: Bumped on every successful grant or release — lets waiters
+        #: distinguish a busy pool from a dead one (see activity_count).
+        self.activity = 0
         # (situation, order, owner, amount, maximum) — one entry per owner.
         self._waiting: List[tuple] = []
         self._order = 0
+        self._lock = threading.RLock()
 
     @property
     def free(self) -> int:
         return self.total - sum(self.allocated.values())
 
+    # Method twins of the properties: manager proxies expose only
+    # callables, so remote callers cannot read ``free``/``allocated``.
+    def free_records(self) -> int:
+        """Unallocated records (proxy-callable twin of :attr:`free`)."""
+        with self._lock:
+            return self.free
+
+    def allocated_to(self, owner: Any) -> int:
+        """Records currently granted to ``owner``."""
+        with self._lock:
+            return self.allocated.get(owner, 0)
+
+    def peak(self) -> int:
+        """Largest total allocation ever observed (never > ``total``)."""
+        with self._lock:
+            return self.peak_allocated
+
+    def activity_count(self) -> int:
+        """Grants + releases so far — a liveness signal for waiters."""
+        with self._lock:
+            return self.activity
+
     def try_allocate(self, owner: Any, amount: int) -> bool:
         """Grant ``amount`` more records to ``owner`` if available."""
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
-        if amount > self.free:
-            return False
-        self.allocated[owner] = self.allocated.get(owner, 0) + amount
-        return True
+        with self._lock:
+            if amount > self.free:
+                return False
+            self.allocated[owner] = self.allocated.get(owner, 0) + amount
+            self.activity += 1
+            in_use = self.total - self.free
+            if in_use > self.peak_allocated:
+                self.peak_allocated = in_use
+            return True
 
     def release(self, owner: Any, amount: Optional[int] = None) -> None:
         """Return memory to the pool (all of it when amount is None)."""
-        held = self.allocated.get(owner, 0)
-        release = held if amount is None else min(amount, held)
-        remaining = held - release
-        if remaining:
-            self.allocated[owner] = remaining
-        else:
-            self.allocated.pop(owner, None)
+        with self._lock:
+            held = self.allocated.get(owner, 0)
+            release = held if amount is None else min(amount, held)
+            if release:
+                self.activity += 1
+            remaining = held - release
+            if remaining:
+                self.allocated[owner] = remaining
+            else:
+                self.allocated.pop(owner, None)
 
     def enqueue(
         self,
@@ -105,35 +149,149 @@ class MemoryBroker:
         grant time the request is clamped to ``maximum - allocated``
         and dropped when the owner is already at its cap.
         """
-        for i, (_, order, pending_owner, _, _) in enumerate(self._waiting):
-            if pending_owner == owner:
-                self._waiting[i] = (situation, order, owner, amount, maximum)
-                return
-        self._order += 1
-        self._waiting.append((situation, self._order, owner, amount, maximum))
+        with self._lock:
+            for i, (_, order, pending_owner, _, _) in enumerate(self._waiting):
+                if pending_owner == owner:
+                    self._waiting[i] = (situation, order, owner, amount, maximum)
+                    return
+            self._order += 1
+            self._waiting.append(
+                (situation, self._order, owner, amount, maximum)
+            )
 
     def grant_waiting(self) -> List[Any]:
         """Serve waiting processes in priority order; return the granted."""
         granted: List[Any] = []
         remaining: List[tuple] = []
-        # Priority: the PRIORITY_ORDER rank, then FIFO within a rank.
-        rank = {situation: i for i, situation in enumerate(PRIORITY_ORDER)}
-        self._waiting.sort(key=lambda w: (rank[w[0]], w[1]))
-        for situation, order, owner, amount, maximum in self._waiting:
+        with self._lock:
+            # Priority: the PRIORITY_ORDER rank, then FIFO within a rank.
+            rank = {situation: i for i, situation in enumerate(PRIORITY_ORDER)}
+            self._waiting.sort(key=lambda w: (rank[w[0]], w[1]))
+            for situation, order, owner, amount, maximum in self._waiting:
+                if maximum is not None:
+                    amount = min(
+                        amount, maximum - self.allocated.get(owner, 0)
+                    )
+                    if amount <= 0:
+                        continue  # already at its cap; drop the request
+                if self.try_allocate(owner, amount):
+                    granted.append(owner)
+                else:
+                    remaining.append(
+                        (situation, order, owner, amount, maximum)
+                    )
+            self._waiting = remaining
+            return granted
+
+    # -- atomic compound operations (one proxy round-trip each) ----------------
+
+    def request_or_enqueue(
+        self,
+        owner: Any,
+        amount: int,
+        situation: WaitSituation = WaitSituation.ABOUT_TO_START,
+        maximum: Optional[int] = None,
+    ) -> int:
+        """Grant ``amount`` now, or register ``owner`` as waiting.
+
+        Returns the records granted (0 when the owner was enqueued
+        instead, or was already at its cap).  Check-then-enqueue must be
+        one atomic step for cross-process callers: split over two proxy
+        calls, a release landing in between would be missed by
+        everybody.  ``maximum`` caps the owner's *total* allocation,
+        exactly as at :meth:`grant_waiting` time — the immediate-grant
+        path must clamp against what the owner already holds or a
+        re-requesting owner could be pushed past its cap.
+        """
+        with self._lock:
             if maximum is not None:
                 amount = min(amount, maximum - self.allocated.get(owner, 0))
                 if amount <= 0:
-                    continue  # already at its cap; drop the request
+                    return 0  # already at its cap; nothing to wait for
             if self.try_allocate(owner, amount):
-                granted.append(owner)
-            else:
-                remaining.append((situation, order, owner, amount, maximum))
-        self._waiting = remaining
-        return granted
+                return amount
+            self.enqueue(owner, amount, situation, maximum)
+            return 0
+
+    def release_and_regrant(
+        self, owner: Any, amount: Optional[int] = None
+    ) -> List[Any]:
+        """Release ``owner``'s memory and serve the wait queue with it.
+
+        Returns the owners granted memory by the freed records.  Waiting
+        workers poll :meth:`allocated_to`, so the release and the regrant
+        must be one atomic step or a concurrent ``request_or_enqueue``
+        could snatch the freed memory out of priority order.
+
+        The owner is done with the pool, so any wait-queue entry of its
+        own is cancelled first: a worker that gave up waiting (acquire
+        timeout) must never be granted memory posthumously — nobody
+        would ever release it.
+        """
+        with self._lock:
+            self._waiting = [
+                entry for entry in self._waiting if entry[2] != owner
+            ]
+            self.release(owner, amount)
+            return self.grant_waiting()
 
     @property
     def waiting(self) -> List[Any]:
-        return [owner for (_, _, owner, _, _) in self._waiting]
+        with self._lock:
+            return [owner for (_, _, owner, _, _) in self._waiting]
+
+
+class _BrokerManager(BaseManager):
+    """Manager subclass hosting :class:`MemoryBroker` instances."""
+
+
+_BrokerManager.register("MemoryBroker", MemoryBroker)
+
+
+class SharedMemoryBroker:
+    """A :class:`MemoryBroker` shared across worker processes.
+
+    The broker object lives in a dedicated manager process; this class
+    hands out picklable proxies whose method calls execute remotely,
+    one server thread per client.  Combined with the broker's internal
+    lock this gives process-safe grant accounting: the pool can never
+    be over-allocated no matter how many workers race, which
+    ``tests/test_memory_broker.py`` asserts by hammering one pool from
+    several processes and checking :meth:`MemoryBroker.peak`.
+
+    Use as a context manager so the manager process is always reaped::
+
+        with SharedMemoryBroker(total=10_000) as broker:
+            pool.map(worker, [(broker.proxy, ...) for ...])
+
+    Parameters
+    ----------
+    total:
+        Pool size in records.
+    mp_context:
+        Start-method name for the manager process ("spawn" by default,
+        matching the parallel sort's workers).
+    """
+
+    def __init__(self, total: int, mp_context: str = "spawn") -> None:
+        if total < 1:
+            raise ValueError(f"total must be >= 1, got {total}")
+        self._manager = _BrokerManager(
+            ctx=multiprocessing.get_context(mp_context)
+        )
+        self._manager.start()
+        #: Picklable proxy; pass it to worker processes.
+        self.proxy = self._manager.MemoryBroker(total)
+
+    def shutdown(self) -> None:
+        """Stop the manager process (idempotent)."""
+        self._manager.shutdown()
+
+    def __enter__(self) -> "SharedMemoryBroker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
 
 
 @dataclass(slots=True)

@@ -1,0 +1,521 @@
+"""Parallel partitioned external sort (DESIGN.md §8).
+
+:class:`FileSpillSort` made the CLI pipeline O(memory) in space but it
+still sorts on one core.  This module adds the classic shared-nothing
+decomposition on top of it: the input stream is partitioned into
+``workers`` shards (by hash or by sampled key ranges), each shard runs
+the *entire* run-generation + spill + shard-local merge in its own
+worker process, and the parent performs one final fan-in-bounded k-way
+merge over the per-shard sorted files.  Because every shard's output is
+itself sorted, the final merge is correct for any partitioning, and for
+integer keys the merged stream is byte-identical to a serial sort of
+the same input.
+
+Memory is arbitrated, not multiplied: the workers share one
+:class:`~repro.sort.memory_broker.MemoryBroker` budget hosted in a
+manager process (:class:`~repro.sort.memory_broker.SharedMemoryBroker`),
+so ``--workers 8 --memory 10000`` still uses ~10 000 records of sorting
+memory in total.  Workers that cannot be granted their share
+immediately wait in the broker's five-situation queue and are served
+when a finishing worker releases.
+
+Workers are spawn-safe: the only things crossing the process boundary
+are a picklable :class:`~repro.core.config.GeneratorSpec`, file paths,
+top-level encode/decode callables, and a broker proxy.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.config import GeneratorSpec
+from repro.merge.kway import MergeCounter, kway_merge, reduce_to_fan_in
+from repro.merge.merge_tree import DEFAULT_FAN_IN
+from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
+from repro.sort.memory_broker import (
+    MemoryBroker,
+    SharedMemoryBroker,
+    WaitSituation,
+)
+from repro.sort.spill import (
+    DEFAULT_BUFFER_RECORDS,
+    FileSpillSort,
+    SpilledRun,
+    SpillSession,
+    merge_group_to_file,
+)
+
+#: Supported partitioning strategies.
+PARTITION_STRATEGIES = ("hash", "range")
+
+#: Smallest memory grant a worker will sort with.
+MIN_WORKER_MEMORY = 2
+
+#: Records sampled from the head of the stream to pick range cut points.
+DEFAULT_SAMPLE_RECORDS = 8_192
+
+#: 64-bit Fibonacci multiplier (golden-ratio hashing).
+_FIB64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    The honest parallelism bound for sizing worker pools and for
+    deciding whether a speedup assertion is even meaningful (the
+    CPU-gated test and the scale benchmark both use this).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def hash_shard(record: Any, workers: int) -> int:
+    """Deterministic shard index of ``record`` under hash partitioning.
+
+    ``hash()`` alone maps small ints to themselves, so consecutive keys
+    from the structured distributions would all land in shard
+    ``key % workers`` patterns; the Fibonacci multiply scrambles them
+    into an even spread while staying deterministic across processes
+    (int hashing does not depend on ``PYTHONHASHSEED``).
+    """
+    return (((hash(record) * _FIB64) & _MASK64) >> 40) % workers
+
+
+def range_cut_points(sample: Sequence[Any], workers: int) -> List[Any]:
+    """``workers - 1`` ascending cut points from a sample of the input.
+
+    Shard ``i`` receives the records in the ``[cut[i-1], cut[i])`` band
+    (closed left, open right: :func:`bisect.bisect_right` sends a record
+    equal to a cut point to the shard on its right), so per-shard
+    outputs cover disjoint key ranges and the final merge degenerates
+    to concatenation.  A skewed or tiny sample yields skewed shards —
+    correctness never depends on the cuts, only balance does.
+    """
+    if workers < 2:
+        return []
+    ordered = sorted(sample)
+    if not ordered:
+        return []
+    return [
+        ordered[min(len(ordered) - 1, (len(ordered) * i) // workers)]
+        for i in range(1, workers)
+    ]
+
+
+def _read_encoded(path: str, decode: Callable[[str], Any]) -> Iterator[Any]:
+    """Stream the records of one newline-delimited partition file.
+
+    The line terminator is stripped before decoding so a pluggable
+    decoder sees exactly what ``encode`` produced.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            yield decode(line[:-1] if line.endswith("\n") else line)
+
+
+def _acquire_memory(
+    broker: Any, owner: str, want: int, poll: float, timeout: float
+) -> int:
+    """Block until the shared broker grants ``want`` records to ``owner``.
+
+    The first attempt is one atomic grant-or-enqueue round-trip; after
+    that the worker polls its own allocation, which the broker fills in
+    priority order as finishing workers release their grants.  The
+    ``timeout`` bounds the wait: if a sibling dies while holding its
+    grant (OOM kill, signal) its release never runs, and an unbounded
+    poll would hang the whole sort silently instead of failing.  The
+    deadline restarts whenever the broker shows activity (a grant or
+    release anywhere in the pool), so a busy pool with slow-but-alive
+    siblings is not mistaken for a dead one — only a pool where nothing
+    moves for ``timeout`` seconds fails.
+    """
+    granted = broker.request_or_enqueue(
+        owner, want, WaitSituation.ABOUT_TO_START, maximum=want
+    )
+    deadline = time.monotonic() + timeout
+    last_activity = broker.activity_count()
+    while not granted:
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                f"{owner}: no memory grant of {want} records within "
+                f"{timeout:.0f}s of broker inactivity — a sibling worker "
+                f"may have died while holding its grant"
+            )
+        time.sleep(poll)
+        activity = broker.activity_count()
+        if activity != last_activity:
+            last_activity = activity
+            deadline = time.monotonic() + timeout
+        granted = broker.allocated_to(owner)
+    return granted
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """Everything one worker process needs, in picklable form."""
+
+    index: int
+    partition_path: str
+    output_path: str
+    spec: GeneratorSpec
+    fan_in: int
+    buffer_records: int
+    work_dir: str
+    memory_request: int
+    encode: Callable[[Any], str]
+    decode: Callable[[str], Any]
+    cpu_op_time: float
+    poll_interval: float
+    acquire_timeout: float
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """What one worker sends back: its shard's report and accounting."""
+
+    index: int
+    output_path: str
+    records: int
+    granted_memory: int
+    wait_time: float
+    report: SortReport
+
+
+def sort_shard(args: Tuple[ShardTask, Any]) -> ShardResult:
+    """Worker entry point: fully sort one partition file.
+
+    Top-level so the spawn start method can pickle it.  The worker
+    acquires its memory grant from the shared broker, builds a private
+    generator from the spec sized to that grant, streams the partition
+    file through a :class:`FileSpillSort` into one sorted output file,
+    and always releases its grant (re-granting waiters atomically).
+    """
+    task, broker = args
+    owner = f"shard-{task.index}"
+    waited = time.perf_counter()
+    try:
+        granted = _acquire_memory(
+            broker, owner, task.memory_request, task.poll_interval,
+            task.acquire_timeout,
+        )
+    except BaseException:
+        # Sign off the broker even when the wait fails: the queued
+        # request must be cancelled (and any grant that raced in
+        # between the last poll and the raise released), or the pool
+        # leaks memory to a worker that is about to exit.
+        broker.release_and_regrant(owner)
+        raise
+    waited = time.perf_counter() - waited
+    try:
+        generator = task.spec.with_memory(granted).build()
+        sorter = FileSpillSort(
+            generator,
+            fan_in=task.fan_in,
+            buffer_records=task.buffer_records,
+            tmp_dir=task.work_dir,
+            encode=task.encode,
+            decode=task.decode,
+            cpu_op_time=task.cpu_op_time,
+        )
+        length = sorter.sort_to_path(
+            _read_encoded(task.partition_path, task.decode), task.output_path
+        )
+        # The partition file is fully consumed; free its disk before
+        # the parent merge doubles the footprint.
+        os.remove(task.partition_path)
+        return ShardResult(
+            task.index, task.output_path, length, granted, waited, sorter.report
+        )
+    finally:
+        broker.release_and_regrant(owner)
+
+
+class PartitionedSort:
+    """Partition the input into shards and sort them in parallel.
+
+    Parameters
+    ----------
+    spec:
+        Recipe for each worker's run generator.  ``spec.memory`` is the
+        *shared* budget for the whole sort unless ``total_memory``
+        overrides it; each worker asks the broker for an equal share.
+    workers:
+        Number of shard processes (1 = serial in-process fallback that
+        still goes through partitioning, for byte-identical plumbing).
+    partition:
+        "hash" (default; balanced for any distribution) or "range"
+        (sampled cut points; shards cover disjoint key ranges).
+    fan_in / buffer_records / tmp_dir / encode / decode / cpu_op_time:
+        As in :class:`FileSpillSort`; encode/decode must be top-level
+        callables so the spawn start method can pickle them.
+    total_memory:
+        Broker pool size in records (defaults to ``spec.memory``).
+    mp_context:
+        Multiprocessing start method ("spawn" by default — the only
+        one that is safe everywhere and matches production forkservers).
+    sample_records:
+        Head-of-stream records buffered to choose range cut points.
+
+    After a sort is fully consumed, :attr:`report` holds the combined
+    :class:`SortReport`, :attr:`worker_reports` the per-shard reports
+    in shard order, :attr:`cut_points` the sampled range boundaries
+    (range partitioning only), and :attr:`partition_wall` /
+    :attr:`merge_passes` / :attr:`max_resident_records` /
+    :attr:`max_open_readers` describe the parent-side phases.
+    """
+
+    def __init__(
+        self,
+        spec: GeneratorSpec,
+        workers: int,
+        partition: str = "hash",
+        fan_in: int = DEFAULT_FAN_IN,
+        buffer_records: int = DEFAULT_BUFFER_RECORDS,
+        tmp_dir: Optional[str] = None,
+        encode: Callable[[Any], str] = str,
+        decode: Callable[[str], Any] = int,
+        total_memory: Optional[int] = None,
+        mp_context: str = "spawn",
+        sample_records: int = DEFAULT_SAMPLE_RECORDS,
+        cpu_op_time: float = DEFAULT_CPU_OP_TIME,
+        poll_interval: float = 0.005,
+        acquire_timeout: float = 600.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"partition must be one of {PARTITION_STRATEGIES}, "
+                f"got {partition!r}"
+            )
+        if fan_in < 2:
+            raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+        if sample_records < 1:
+            raise ValueError(
+                f"sample_records must be >= 1, got {sample_records}"
+            )
+        self.spec = spec
+        self.workers = workers
+        self.partition = partition
+        self.fan_in = fan_in
+        self.buffer_records = buffer_records
+        self.tmp_dir = tmp_dir
+        self.encode = encode
+        self.decode = decode
+        self.total_memory = total_memory if total_memory is not None else spec.memory
+        if self.total_memory < MIN_WORKER_MEMORY:
+            raise ValueError(
+                f"total_memory must be >= {MIN_WORKER_MEMORY}, "
+                f"got {self.total_memory}"
+            )
+        self.mp_context = mp_context
+        self.sample_records = sample_records
+        self.cpu_op_time = cpu_op_time
+        self.poll_interval = poll_interval
+        self.acquire_timeout = acquire_timeout
+        #: Equal broker share each worker requests (all-or-nothing).
+        self.memory_per_worker = max(
+            MIN_WORKER_MEMORY, self.total_memory // workers
+        )
+        # -- filled in once a sort() is fully consumed --
+        self.report: Optional[SortReport] = None
+        self.worker_reports: List[SortReport] = []
+        self.shard_records: List[int] = []
+        self.granted_memories: List[int] = []
+        self.cut_points: List[Any] = []
+        self.partition_wall = 0.0
+        self.merge_passes = 0
+        self.max_resident_records = 0
+        self.max_open_readers = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def sort(self, records: Iterable[Any]) -> Iterator[Any]:
+        """Lazily yield ``records`` in ascending order.
+
+        Partitioning and the worker fan-out happen on the first
+        ``next()``; the returned iterator then streams the parent-side
+        merge of the per-shard sorted files.  All temporary files are
+        removed even when the sort raises or is abandoned mid-stream.
+        """
+        work_dir = tempfile.mkdtemp(prefix="repro-psort-", dir=self.tmp_dir)
+        try:
+            started = time.perf_counter()
+            partition_paths = self._partition(records, work_dir)
+            self.partition_wall = time.perf_counter() - started
+
+            started = time.perf_counter()
+            results = self._run_workers(partition_paths, work_dir)
+            workers_wall = time.perf_counter() - started
+
+            report = self._combine_reports(results)
+            report.run_phase.wall_time = self.partition_wall + workers_wall
+
+            started = time.perf_counter()
+            merge_dir = os.path.join(work_dir, "merge")
+            os.mkdir(merge_dir)
+            session = SpillSession(merge_dir)
+            counter = MergeCounter()
+            runs = [
+                SpilledRun(
+                    session,
+                    result.output_path,
+                    result.records,
+                    self.decode,
+                    self.buffer_records,
+                )
+                for result in results
+            ]
+            runs, extra_passes = reduce_to_fan_in(
+                runs,
+                self.fan_in,
+                lambda group: merge_group_to_file(
+                    session, group, counter,
+                    self.encode, self.decode, self.buffer_records,
+                ),
+            )
+            self.merge_passes = 1 + extra_passes
+            yield from kway_merge([run.records() for run in runs], counter)
+            merge_wall = time.perf_counter() - started
+
+            report.merge_phase.cpu_ops += counter.cpu_ops
+            report.merge_phase.cpu_time += counter.cpu_ops * self.cpu_op_time
+            report.merge_phase.wall_time = merge_wall
+            self.max_resident_records = session.max_resident_records
+            self.max_open_readers = session.max_open_readers
+            self.report = report
+        finally:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _partition(
+        self, records: Iterable[Any], work_dir: str
+    ) -> List[str]:
+        """Route the input stream into one partition file per worker.
+
+        This loop is the sort's sequential bottleneck, so it does no
+        accounting — per-shard record counts come back from the workers.
+        """
+        paths = [
+            os.path.join(work_dir, f"part-{i:03d}.txt")
+            for i in range(self.workers)
+        ]
+        encode = self.encode
+        shard_of, stream = self._shard_function(iter(records))
+        handles = [open(path, "w", encoding="utf-8") for path in paths]
+        try:
+            for record in stream:
+                handles[shard_of(record)].write(f"{encode(record)}\n")
+        finally:
+            for handle in handles:
+                handle.close()
+        return paths
+
+    def _shard_function(
+        self, stream: Iterator[Any]
+    ) -> Tuple[Callable[[Any], int], Iterator[Any]]:
+        """Build the record -> shard map; returns (map, stream).
+
+        For range partitioning the first ``sample_records`` records are
+        buffered to pick cut points and then chained back in front of
+        the remaining stream, so no record is lost and the input is
+        still consumed exactly once.
+        """
+        if self.workers == 1:
+            return (lambda record: 0), stream
+        if self.partition == "hash":
+            workers = self.workers
+            return (lambda record: hash_shard(record, workers)), stream
+        sample: List[Any] = []
+        for record in stream:
+            sample.append(record)
+            if len(sample) >= self.sample_records:
+                break
+        cuts = range_cut_points(sample, self.workers)
+        self.cut_points = cuts
+
+        def _replay(remainder: Iterator[Any]) -> Iterator[Any]:
+            yield from sample
+            yield from remainder
+
+        return (lambda record: bisect_right(cuts, record)), _replay(stream)
+
+    def _run_workers(
+        self, partition_paths: List[str], work_dir: str
+    ) -> List[ShardResult]:
+        """Fan the shard tasks out to the worker pool; shard order kept."""
+        tasks = [
+            ShardTask(
+                index=i,
+                partition_path=path,
+                output_path=os.path.join(work_dir, f"shard-{i:03d}.sorted"),
+                spec=self.spec,
+                fan_in=self.fan_in,
+                buffer_records=self.buffer_records,
+                work_dir=work_dir,
+                memory_request=self.memory_per_worker,
+                encode=self.encode,
+                decode=self.decode,
+                cpu_op_time=self.cpu_op_time,
+                poll_interval=self.poll_interval,
+                acquire_timeout=self.acquire_timeout,
+            )
+            for i, path in enumerate(partition_paths)
+        ]
+        if self.workers == 1:
+            # Serial fallback: same worker code path, but against a
+            # plain in-process broker — no manager process, no proxies.
+            results = [sort_shard((tasks[0], MemoryBroker(self.total_memory)))]
+        else:
+            with SharedMemoryBroker(
+                self.total_memory, self.mp_context
+            ) as broker:
+                ctx = get_context(self.mp_context)
+                with ctx.Pool(processes=self.workers) as pool:
+                    results = pool.map(
+                        sort_shard,
+                        [(task, broker.proxy) for task in tasks],
+                    )
+        results.sort(key=lambda result: result.index)
+        self.worker_reports = [result.report for result in results]
+        self.shard_records = [result.records for result in results]
+        self.granted_memories = [result.granted_memory for result in results]
+        return results
+
+    def _combine_reports(self, results: List[ShardResult]) -> SortReport:
+        """Aggregate per-shard reports into one combined SortReport.
+
+        CPU ops add up across shards (total work); wall times do not
+        (the shards overlap), so the phase wall times are measured on
+        the parent side instead.
+        """
+        reports = [result.report for result in results]
+        combined = SortReport(
+            algorithm=(
+                f"{self.spec.algorithm.upper()}"
+                f"[{self.partition}:{self.workers}]"
+            ),
+            records=sum(r.records for r in reports),
+            runs=sum(r.runs for r in reports),
+            run_lengths=[n for r in reports for n in r.run_lengths],
+        )
+        run_ops = sum(r.run_phase.cpu_ops for r in reports)
+        merge_ops = sum(r.merge_phase.cpu_ops for r in reports)
+        combined.run_phase = PhaseReport(
+            cpu_ops=run_ops, cpu_time=run_ops * self.cpu_op_time
+        )
+        combined.merge_phase = PhaseReport(
+            cpu_ops=merge_ops, cpu_time=merge_ops * self.cpu_op_time
+        )
+        return combined

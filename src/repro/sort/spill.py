@@ -25,7 +25,7 @@ import time
 from itertools import islice
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.merge.kway import MergeCounter, kway_merge
+from repro.merge.kway import MergeCounter, kway_merge, reduce_to_fan_in
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import RunGenerator
 from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
@@ -34,7 +34,7 @@ from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
 DEFAULT_BUFFER_RECORDS = 4096
 
 
-class _SortSession:
+class SpillSession:
     """Per-``sort()`` state: temp directory and laziness accounting.
 
     Each call to :meth:`FileSpillSort.sort` owns one session, so
@@ -81,35 +81,42 @@ class _SortSession:
 class SpilledRun:
     """One sorted run stored in a real temporary file.
 
-    Records are one per line, written with the sorter's ``encode`` and
-    read back with its ``decode``.  :meth:`records` is a lazy reader
+    Records are one per line, written with the owning sort's ``encode``
+    and read back with ``decode``.  :meth:`records` is a lazy reader
     that holds at most ``buffer_records`` decoded records at a time and
     deletes the file once it is fully consumed.
     """
 
     def __init__(
         self,
-        sorter: "FileSpillSort",
-        session: _SortSession,
+        session: SpillSession,
         path: str,
         length: int,
+        decode: Callable[[str], Any] = int,
+        buffer_records: int = DEFAULT_BUFFER_RECORDS,
     ) -> None:
-        self._sorter = sorter
         self._session = session
         self.path = path
         self.length = length
+        self.decode = decode
+        self.buffer_records = buffer_records
 
     def records(self) -> Iterator[Any]:
         """Yield the run's records in order, buffered and lazily."""
         session = self._session
-        decode = self._sorter.decode
-        chunk_records = self._sorter.buffer_records
+        decode = self.decode
+        chunk_records = self.buffer_records
         session.reader_opened()
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 while True:
+                    # Strip the line terminator before decoding: int()
+                    # happens to tolerate it, but a pluggable decoder
+                    # (e.g. plain str for string keys) must get exactly
+                    # what encode produced.
                     chunk = [
-                        decode(line) for line in islice(handle, chunk_records)
+                        decode(line[:-1] if line.endswith("\n") else line)
+                        for line in islice(handle, chunk_records)
                     ]
                     if not chunk:
                         break
@@ -128,6 +135,29 @@ class SpilledRun:
             os.remove(self.path)
         except OSError:
             pass
+
+
+def merge_group_to_file(
+    session: SpillSession,
+    group: Sequence[SpilledRun],
+    counter: MergeCounter,
+    encode: Callable[[Any], str],
+    decode: Callable[[str], Any],
+    buffer_records: int,
+) -> SpilledRun:
+    """Merge one group of spilled runs into a new spilled run file.
+
+    The merge_group callable of one intermediate pass (see
+    :func:`repro.merge.kway.reduce_to_fan_in`), shared by the serial
+    spill backend and the parallel partitioned sort's parent merge.
+    """
+    path = session.spill_path()
+    length = 0
+    with open(path, "w", encoding="utf-8") as out:
+        for record in kway_merge([run.records() for run in group], counter):
+            out.write(f"{encode(record)}\n")
+            length += 1
+    return SpilledRun(session, path, length, decode, buffer_records)
 
 
 class FileSpillSort:
@@ -199,11 +229,15 @@ class FileSpillSort:
         phase timings once the iterator is exhausted.  Abandoning the
         iterator mid-sort still removes all temporary files.
         """
-        session = _SortSession(
+        # Nothing between creating the temp directory and entering the
+        # try: every later failure — run generation raising mid-stream,
+        # a decode error during the merge, the caller abandoning the
+        # iterator — must reach the finally and remove the directory.
+        session = SpillSession(
             tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir)
         )
-        counter = MergeCounter()
         try:
+            counter = MergeCounter()
             started = time.perf_counter()
             runs = [
                 self._spill_run(session, run)
@@ -226,20 +260,12 @@ class FileSpillSort:
             )
 
             started = time.perf_counter()
-            session.merge_passes = 1
-            while len(runs) > self.fan_in:
-                session.merge_passes += 1
-                runs = [
-                    # A trailing singleton group needs no merging:
-                    # carry the run forward instead of rewriting it.
-                    group[0]
-                    if len(group) == 1
-                    else self._merge_to_file(session, group, counter)
-                    for group in (
-                        runs[i : i + self.fan_in]
-                        for i in range(0, len(runs), self.fan_in)
-                    )
-                ]
+            runs, extra_passes = reduce_to_fan_in(
+                runs,
+                self.fan_in,
+                lambda group: self._merge_to_file(session, group, counter),
+            )
+            session.merge_passes = 1 + extra_passes
             yield from kway_merge([run.records() for run in runs], counter)
             merge_wall = time.perf_counter() - started
 
@@ -255,30 +281,43 @@ class FileSpillSort:
             self.max_open_readers = session.max_open_readers
             session.cleanup()
 
+    def sort_to_path(self, records: Iterable[Any], path: str) -> int:
+        """Sort ``records`` into the file at ``path``; return the length.
+
+        Streaming write of the merged output — the parallel partitioned
+        sort uses this inside worker processes to leave one fully
+        sorted file per shard behind.
+        """
+        encode = self.encode
+        length = 0
+        with open(path, "w", encoding="utf-8") as out:
+            for record in self.sort(records):
+                out.write(f"{encode(record)}\n")
+                length += 1
+        return length
+
     # -- internals -----------------------------------------------------------------
 
     def _spill_run(
-        self, session: _SortSession, run: Sequence[Any]
+        self, session: SpillSession, run: Sequence[Any]
     ) -> SpilledRun:
         """Write one generated run to its own temp file."""
         path = session.spill_path()
         encode = self.encode
         with open(path, "w", encoding="utf-8") as out:
             out.writelines(f"{encode(record)}\n" for record in run)
-        return SpilledRun(self, session, path, len(run))
+        return SpilledRun(
+            session, path, len(run), self.decode, self.buffer_records
+        )
 
     def _merge_to_file(
         self,
-        session: _SortSession,
+        session: SpillSession,
         group: Sequence[SpilledRun],
         counter: MergeCounter,
     ) -> SpilledRun:
         """One intermediate merge pass node: group -> new spilled run."""
-        path = session.spill_path()
-        encode = self.encode
-        length = 0
-        with open(path, "w", encoding="utf-8") as out:
-            for record in kway_merge([run.records() for run in group], counter):
-                out.write(f"{encode(record)}\n")
-                length += 1
-        return SpilledRun(self, session, path, length)
+        return merge_group_to_file(
+            session, group, counter,
+            self.encode, self.decode, self.buffer_records,
+        )

@@ -1,0 +1,15 @@
+"""Shared helpers for the test suite.
+
+Not a conftest: ``benchmarks/conftest.py`` already claims that module
+name, so these live under a unique name and are imported explicitly.
+"""
+
+import os
+
+
+def files_under(root) -> list:
+    """Every file (recursively) below ``root`` — cleanup assertions."""
+    found = []
+    for dirpath, _, filenames in os.walk(root):
+        found.extend(os.path.join(dirpath, f) for f in filenames)
+    return found

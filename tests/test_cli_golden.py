@@ -1,0 +1,110 @@
+"""Golden-output tests for the CLI report formats.
+
+Scripts parse ``repro.cli sort --report`` / ``runs --report`` output,
+so the exact text is a contract: these tests lock it against
+checked-in fixtures in ``tests/golden/``.  Real wall-clock fields are
+normalised to ``<WALL>`` (everything else — record counts, run counts,
+cpu op counts, simulated times — is deterministic for a fixed dataset).
+
+To update the fixtures intentionally after a deliberate format change::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_cli_golden.py
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.generators import make_input
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Real elapsed-time fields; everything else in a report is deterministic.
+_WALL_RE = re.compile(r"(wall=)\d+\.\d+s")
+
+
+def normalise(text: str) -> str:
+    """Replace volatile wall-clock values with stable placeholders."""
+    return _WALL_RE.sub(r"\1<WALL>s", text)
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    """The pinned input every golden fixture was generated from."""
+    path = tmp_path / "golden-input.txt"
+    records = make_input("random", 2_000, seed=42)
+    path.write_text("".join(f"{value}\n" for value in records))
+    return path
+
+
+def check_golden(name: str, got: str) -> None:
+    golden_path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        golden_path.write_text(got)
+        return
+    assert golden_path.exists(), (
+        f"missing fixture {golden_path}; regenerate with "
+        f"REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_cli_golden.py"
+    )
+    expected = golden_path.read_text()
+    assert got == expected, (
+        f"{name} drifted from the checked-in fixture; if the format "
+        f"change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+class TestSortReportGolden:
+    def test_sort_report_text(self, dataset, tmp_path, capsys):
+        code = main(
+            [
+                "sort",
+                "--memory",
+                "200",
+                "--fan-in",
+                "4",
+                "--merge-buffer",
+                "128",
+                "--report",
+                str(dataset),
+                "-o",
+                str(tmp_path / "out.txt"),
+            ]
+        )
+        assert code == 0
+        check_golden("sort_report.txt", normalise(capsys.readouterr().err))
+
+    def test_sort_parallel_report_text(self, dataset, tmp_path, capsys):
+        code = main(
+            [
+                "sort",
+                "--memory",
+                "400",
+                "--workers",
+                "2",
+                "--fan-in",
+                "4",
+                "--merge-buffer",
+                "128",
+                "--report",
+                str(dataset),
+                "-o",
+                str(tmp_path / "out.txt"),
+            ]
+        )
+        assert code == 0
+        check_golden(
+            "sort_parallel_report.txt", normalise(capsys.readouterr().err)
+        )
+
+
+class TestRunsReportGolden:
+    def test_runs_report_text(self, dataset, capsys):
+        assert main(["runs", "--memory", "200", "--report", str(dataset)]) == 0
+        check_golden("runs_report.txt", normalise(capsys.readouterr().out))
+
+    def test_runs_plain_text(self, dataset, capsys):
+        assert main(["runs", "--memory", "200", str(dataset)]) == 0
+        check_golden("runs_plain.txt", normalise(capsys.readouterr().out))

@@ -1,6 +1,8 @@
 """Tests for dynamic memory adjustment (Section 3.7.3)."""
 
 import threading
+import time
+from multiprocessing import get_context
 
 import pytest
 
@@ -8,10 +10,33 @@ from repro.sort.memory_broker import (
     PRIORITY_ORDER,
     ConcurrentSortSimulator,
     MemoryBroker,
+    SharedMemoryBroker,
     SortJob,
     WaitSituation,
 )
 from repro.workloads.generators import random_input
+
+
+def hammer_pool(args):
+    """Worker (top-level for spawn): acquire/hold/release in a loop.
+
+    The poll is bounded: a broker regression that drops a queued
+    request must fail this test with a diagnostic, not hang the run.
+    """
+    proxy, owner, iterations = args
+    deadline = time.monotonic() + 30.0
+    for i in range(iterations):
+        granted = proxy.request_or_enqueue(owner, 60, maximum=60)
+        while not granted:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"{owner}: no grant after 30s — broker starved a waiter"
+                )
+            time.sleep(0.002)
+            granted = proxy.allocated_to(owner)
+        time.sleep(0.001)  # hold the grant while others contend
+        proxy.release_and_regrant(owner)
+    return owner
 
 
 class TestMemoryBroker:
@@ -58,6 +83,96 @@ class TestMemoryBroker:
         granted = broker.grant_waiting()
         assert granted == ["starter"]
         assert broker.waiting == ["later"]
+
+    def test_peak_tracks_high_water_mark(self):
+        broker = MemoryBroker(100)
+        broker.try_allocate("a", 70)
+        broker.try_allocate("b", 20)
+        broker.release("a")
+        broker.try_allocate("c", 10)
+        assert broker.peak() == 90
+        assert broker.peak() <= broker.total
+
+    def test_request_or_enqueue_grants_or_queues_atomically(self):
+        broker = MemoryBroker(100)
+        assert broker.request_or_enqueue("a", 80) == 80
+        assert broker.request_or_enqueue("b", 80) == 0
+        assert broker.waiting == ["b"]
+        # maximum clamps the request before the grant attempt.
+        assert broker.request_or_enqueue("c", 80, maximum=20) == 20
+
+    def test_request_or_enqueue_caps_total_allocation(self):
+        # The immediate-grant path clamps against what the owner
+        # already holds, matching grant_waiting's cap semantics: a
+        # re-requesting owner can never be pushed past its maximum.
+        broker = MemoryBroker(200)
+        broker.try_allocate("w", 50)
+        assert broker.request_or_enqueue("w", 60, maximum=60) == 10
+        assert broker.allocated_to("w") == 60
+        # Already at the cap: nothing granted, nothing queued.
+        assert broker.request_or_enqueue("w", 60, maximum=60) == 0
+        assert broker.waiting == []
+
+    def test_release_and_regrant_serves_waiters(self):
+        broker = MemoryBroker(100)
+        broker.request_or_enqueue("a", 100)
+        broker.request_or_enqueue("b", 60)
+        assert broker.release_and_regrant("a") == ["b"]
+        assert broker.allocated_to("b") == 60
+        assert broker.free_records() == 40
+
+    def test_release_and_regrant_cancels_own_pending_request(self):
+        # Regression: a worker that gives up waiting (acquire timeout)
+        # signs off with release_and_regrant; its queued request must
+        # die with it, or a later release would grant memory to a
+        # process that already exited — leaked forever.
+        broker = MemoryBroker(100)
+        broker.request_or_enqueue("holder", 100)
+        broker.request_or_enqueue("quitter", 60)
+        broker.request_or_enqueue("patient", 60)
+        assert broker.release_and_regrant("quitter") == []  # signs off
+        assert broker.waiting == ["patient"]
+        assert broker.release_and_regrant("holder") == ["patient"]
+        assert broker.allocated_to("quitter") == 0
+
+    def test_activity_counts_grants_and_releases(self):
+        broker = MemoryBroker(100)
+        before = broker.activity_count()
+        broker.try_allocate("a", 10)
+        broker.release("a")
+        broker.release("ghost")  # releases nothing: no activity
+        assert broker.activity_count() == before + 2
+
+
+class TestSharedMemoryBroker:
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            SharedMemoryBroker(0)
+
+    def test_proxy_round_trips(self):
+        with SharedMemoryBroker(100) as shared:
+            proxy = shared.proxy
+            assert proxy.request_or_enqueue("a", 60) == 60
+            assert proxy.request_or_enqueue("b", 60) == 0
+            assert proxy.allocated_to("a") == 60
+            assert proxy.release_and_regrant("a") == ["b"]
+            assert proxy.allocated_to("b") == 60
+            assert proxy.free_records() == 40
+            assert proxy.peak() == 60
+
+    def test_concurrent_processes_never_overallocate(self):
+        # Three processes fighting over a 100-record pool, each cycling
+        # 60-record grants: at most one grant can be live at a time, so
+        # the high-water mark proves the accounting is process-safe.
+        with SharedMemoryBroker(100) as shared:
+            args = [
+                (shared.proxy, f"proc-{i}", 5) for i in range(3)
+            ]
+            with get_context("spawn").Pool(3) as pool:
+                done = pool.map(hammer_pool, args)
+            assert sorted(done) == ["proc-0", "proc-1", "proc-2"]
+            assert shared.proxy.peak() == 60  # never two 60s at once
+            assert shared.proxy.free_records() == 100
 
     def test_fifo_within_same_situation(self):
         broker = MemoryBroker(60)

@@ -3,6 +3,7 @@
 import os
 
 import pytest
+from _helpers import files_under
 
 from repro.core.config import RECOMMENDED
 from repro.core.two_way import TwoWayReplacementSelection
@@ -10,13 +11,6 @@ from repro.runs.load_sort_store import LoadSortStore
 from repro.runs.replacement_selection import ReplacementSelection
 from repro.sort.spill import DEFAULT_BUFFER_RECORDS, FileSpillSort
 from repro.workloads.generators import make_input, random_input
-
-
-def files_under(root) -> list:
-    found = []
-    for dirpath, _, filenames in os.walk(root):
-        found.extend(os.path.join(dirpath, f) for f in filenames)
-    return found
 
 
 class TestCorrectness:
@@ -67,6 +61,19 @@ class TestCorrectness:
             tmp_dir=str(tmp_path),
             encode=repr,
             decode=float,
+        )
+        assert list(sorter.sort(iter(data))) == sorted(data)
+
+    def test_string_keys_round_trip_exactly(self, tmp_path):
+        # Regression: readers must strip the line terminator before
+        # calling decode — a plain-str decoder used to hand back
+        # records with a trailing newline glued on.
+        data = ["pear", "apple", "fig", "cherry", "banana", "date"]
+        sorter = FileSpillSort(
+            ReplacementSelection(2),
+            tmp_dir=str(tmp_path),
+            encode=str,
+            decode=str,
         )
         assert list(sorter.sort(iter(data))) == sorted(data)
 
@@ -145,6 +152,53 @@ class TestCleanup:
             next(merged)
         merged.close()
         assert files_under(tmp_path) == []
+
+    def test_no_temp_files_survive_run_generation_failure(self, tmp_path):
+        # Regression guard: an input stream raising mid-stream (after
+        # runs have already spilled) must still tear the whole per-sort
+        # temp directory down on its way out.
+        def poisoned():
+            yield from random_input(1_500, seed=12)
+            raise RuntimeError("input stream died")
+
+        sorter = FileSpillSort(ReplacementSelection(50), tmp_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="input stream died"):
+            list(sorter.sort(poisoned()))
+        assert files_under(tmp_path) == []
+        assert os.listdir(tmp_path) == []
+
+    def test_no_temp_files_survive_merge_failure(self, tmp_path):
+        # A decode error during the merge phase aborts after the spill
+        # files exist and readers are open; cleanup must still run.
+        decoded = 0
+
+        def fragile_decode(line):
+            nonlocal decoded
+            decoded += 1
+            if decoded > 500:
+                raise ValueError("decode died mid-merge")
+            return int(line)
+
+        data = list(random_input(2_000, seed=13))
+        sorter = FileSpillSort(
+            ReplacementSelection(50),
+            tmp_dir=str(tmp_path),
+            decode=fragile_decode,
+        )
+        with pytest.raises(ValueError, match="decode died"):
+            list(sorter.sort(iter(data)))
+        assert files_under(tmp_path) == []
+        assert os.listdir(tmp_path) == []
+
+    def test_immediate_failure_leaves_nothing(self, tmp_path):
+        def dead_on_arrival():
+            raise RuntimeError("no records at all")
+            yield  # pragma: no cover
+
+        sorter = FileSpillSort(ReplacementSelection(50), tmp_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="no records at all"):
+            list(sorter.sort(dead_on_arrival()))
+        assert os.listdir(tmp_path) == []
 
 
 class TestBoundedMemory:
