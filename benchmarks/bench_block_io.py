@@ -1,0 +1,233 @@
+"""Block-batched I/O sweep: block size vs the line-at-a-time baseline.
+
+Sorts the same dataset through the real-file spill backend at several
+``--block-records`` settings and once through the *line-at-a-time
+baseline* — a :class:`~repro.core.records.CallableFormat` wrapping the
+seed's per-record ``str``/``int`` callables, which forces one Python-
+level decode call per line and one encode call per record, exactly the
+hot loop this PR's block codecs replaced.  Results (wall seconds,
+speedup vs the baseline, sha256 output digests — all settings must
+produce byte-identical output) go to ``BENCH_blockio.json`` at the
+repo root.
+
+A second sweep times the three real-file merge reading strategies
+(naive / forecasting / double_buffering) at the default block size, so
+the JSON records how prefetching behaves on this machine's storage.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_block_io.py \
+        --records 500000 --blocks 512 4096 16384
+
+This is a standalone script, not a pytest-benchmark module: the
+quantity of interest is the relative wall-clock of whole sorts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import GeneratorSpec
+from repro.core.records import INT, CallableFormat
+from repro.engine.planner import SortEngine
+from repro.workloads.generators import random_input
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_blockio.json"
+
+#: The seed's per-record serialisation, as top-level callables.
+LINE_AT_A_TIME = CallableFormat(str, int)
+
+
+def run_once(
+    records: int,
+    memory: int,
+    algorithm: str,
+    fan_in: int,
+    block_records: int,
+    reading: str,
+    record_format,
+    seed: int,
+) -> dict:
+    """One full sort; returns wall time and an output digest."""
+    engine = SortEngine(
+        GeneratorSpec(algorithm, memory),
+        record_format=record_format,
+        fan_in=fan_in,
+        buffer_records=block_records,
+        block_records=block_records,
+        reading=reading,
+    )
+    digest = hashlib.sha256()
+    count = 0
+    started = time.perf_counter()
+    for value in engine.sort(random_input(records, seed=seed)):
+        digest.update(f"{value}\n".encode("ascii"))
+        count += 1
+    wall = time.perf_counter() - started
+    assert count == records, f"lost records: {count} != {records}"
+    stats = engine.reading_stats
+    return {
+        "wall_seconds": round(wall, 3),
+        "merge_passes": engine.merge_passes,
+        "block_reads": stats.block_reads if stats else 0,
+        "prefetch_hits": stats.prefetch_hits if stats else 0,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def merge_only(
+    records: int,
+    fan_in: int,
+    block_records: int,
+    record_format,
+    seed: int,
+) -> dict:
+    """Time just the k-way merge of pre-written sorted run files.
+
+    Isolates the hot merge loop (read blocks -> decode -> heap ->
+    encode nothing, the consumer just hashes), where the block codecs
+    replaced one decode call per record.
+    """
+    import tempfile
+
+    from repro.engine.block_io import write_sequence
+
+    run_records = records // fan_in
+    with tempfile.TemporaryDirectory(prefix="repro-benchio-") as work_dir:
+        paths = []
+        for index in range(fan_in):
+            data = sorted(random_input(run_records, seed=seed * 100 + index))
+            path = os.path.join(work_dir, f"run-{index:02d}.txt")
+            write_sequence(path, data, INT)
+            paths.append(path)
+        engine = SortEngine(
+            GeneratorSpec("lss", 1000),
+            record_format=record_format,
+            fan_in=fan_in,
+            buffer_records=block_records,
+            reading="naive",
+        )
+        digest = hashlib.sha256()
+        count = 0
+        started = time.perf_counter()
+        for value in engine.merge_files(paths):
+            digest.update(f"{value}\n".encode("ascii"))
+            count += 1
+        wall = time.perf_counter() - started
+    assert count == run_records * fan_in
+    return {
+        "wall_seconds": round(wall, 3),
+        "records": count,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=500_000)
+    parser.add_argument("--memory", type=int, default=10_000)
+    parser.add_argument("--algorithm", default="lss",
+                        choices=("rs", "2wrs", "lss", "brs"))
+    parser.add_argument("--fan-in", type=int, default=10)
+    parser.add_argument("--blocks", type=int, nargs="+",
+                        default=[512, 4096, 16384])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    common = dict(
+        records=args.records, memory=args.memory, algorithm=args.algorithm,
+        fan_in=args.fan_in, seed=args.seed,
+    )
+
+    print(f"baseline: line-at-a-time decode/encode ...", flush=True)
+    baseline = run_once(
+        **common, block_records=4096, reading="naive",
+        record_format=LINE_AT_A_TIME,
+    )
+    baseline["mode"] = "line_at_a_time"
+    print(f"  wall={baseline['wall_seconds']}s", flush=True)
+
+    block_rows = []
+    for block in args.blocks:
+        print(f"block_records={block}: block-batched sort ...", flush=True)
+        row = run_once(
+            **common, block_records=block, reading="naive",
+            record_format=INT,
+        )
+        row["mode"] = "block"
+        row["block_records"] = block
+        row["speedup_vs_line_at_a_time"] = round(
+            baseline["wall_seconds"] / row["wall_seconds"], 3
+        )
+        block_rows.append(row)
+        print(f"  wall={row['wall_seconds']}s "
+              f"(x{row['speedup_vs_line_at_a_time']})", flush=True)
+
+    reading_rows = []
+    for reading in ("naive", "forecasting", "double_buffering"):
+        print(f"reading={reading}: merge strategy sweep ...", flush=True)
+        row = run_once(
+            **common, block_records=4096, reading=reading, record_format=INT,
+        )
+        row["mode"] = "reading"
+        row["reading"] = reading
+        reading_rows.append(row)
+        print(f"  wall={row['wall_seconds']}s", flush=True)
+
+    print("merge-only: line-at-a-time vs block decode ...", flush=True)
+    merge_line = merge_only(
+        args.records, args.fan_in, 4096, LINE_AT_A_TIME, args.seed
+    )
+    merge_block = merge_only(args.records, args.fan_in, 4096, INT, args.seed)
+    merge_speedup = round(
+        merge_line["wall_seconds"] / merge_block["wall_seconds"], 3
+    )
+    print(
+        f"  line={merge_line['wall_seconds']}s "
+        f"block={merge_block['wall_seconds']}s (x{merge_speedup})",
+        flush=True,
+    )
+
+    digests = {r["sha256"] for r in [baseline, *block_rows, *reading_rows]}
+    identical = (
+        len(digests) == 1
+        and merge_line["sha256"] == merge_block["sha256"]
+    )
+    best = max(
+        r["speedup_vs_line_at_a_time"] for r in block_rows
+    )
+
+    payload = {
+        "benchmark": "block-batched spill I/O vs line-at-a-time baseline",
+        **common,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "output_identical_across_settings": identical,
+        "best_block_speedup_vs_line_at_a_time": best,
+        "merge_only_speedup_vs_line_at_a_time": merge_speedup,
+        "line_at_a_time_baseline": baseline,
+        "block_sweep": block_rows,
+        "reading_sweep": reading_rows,
+        "merge_only": {
+            "line_at_a_time": merge_line,
+            "block": merge_block,
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not identical:
+        print("ERROR: outputs differ across settings", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,15 @@ Examples::
     # 1000-record memory budget through the memory broker
     python -m repro.cli sort --memory 1000 --workers 4 in.txt -o out.txt
 
-    # range-partition instead of hash, with per-worker phase timings
-    python -m repro.cli sort --workers 4 --partition range --report in.txt
+    # typed records: floats, opaque strings, or delimited rows sorted
+    # by one column (0-based; csv and tsv fix the separator)
+    python -m repro.cli sort --format float measurements.txt
+    python -m repro.cli sort --format str words.txt
+    python -m repro.cli sort --format csv --key 2 events.csv -o by_time.csv
+
+    # choose how the final merge reads its run files (default: the
+    # planner picks; see DESIGN.md §9)
+    python -m repro.cli sort --reading double_buffering --report in.txt
 
     # compare run generation across algorithms without sorting
     python -m repro.cli runs --memory 1000 in.txt
@@ -20,6 +27,11 @@ Examples::
 
     # generate one of the paper's datasets
     python -m repro.cli dataset mixed_balanced --records 100000 > in.txt
+
+All sorting routes through :class:`repro.engine.SortEngine`
+(DESIGN.md §9), which plans in-memory vs spill vs partitioned-parallel
+execution and moves records in blocks through the configured
+``--format``.
 """
 
 from __future__ import annotations
@@ -28,24 +40,19 @@ import argparse
 import importlib
 import sys
 from contextlib import nullcontext
-from typing import ContextManager, Iterator, List, Optional, TextIO
+from typing import ContextManager, List, Optional, TextIO
 
 from repro.core.config import ALGORITHMS, GeneratorSpec, RECOMMENDED, TwoWayConfig
 from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
+from repro.core.records import FORMAT_NAMES, resolve_format
+from repro.engine.block_io import DEFAULT_BLOCK_RECORDS, iter_records
+from repro.engine.merge_reading import READING_STRATEGIES
+from repro.engine.planner import AUTO_READING, SortEngine, spec_for_format
 from repro.experiments import EXPERIMENTS
 from repro.merge.merge_tree import DEFAULT_FAN_IN
-from repro.runs.base import RunGenerator
-from repro.sort.external import ExternalSort
-from repro.sort.parallel import PARTITION_STRATEGIES, PartitionedSort
-from repro.sort.spill import DEFAULT_BUFFER_RECORDS, FileSpillSort
+from repro.sort.parallel import PARTITION_STRATEGIES
+from repro.sort.spill import DEFAULT_BUFFER_RECORDS
 from repro.workloads.generators import DISTRIBUTIONS, make_input
-
-
-def _read_keys(handle: TextIO) -> Iterator[int]:
-    for line in handle:
-        line = line.strip()
-        if line:
-            yield int(line)
 
 
 def _make_spec(args: argparse.Namespace) -> GeneratorSpec:
@@ -63,8 +70,14 @@ def _make_spec(args: argparse.Namespace) -> GeneratorSpec:
     )
 
 
-def _make_generator(args: argparse.Namespace) -> RunGenerator:
-    return _make_spec(args).build()
+def _record_format(args: argparse.Namespace):
+    if args.key is not None and args.format not in ("csv", "tsv"):
+        # Silently ignoring --key would sort by the wrong thing.
+        raise SystemExit(
+            f"repro: error: --key only applies to the delimited formats "
+            f"(csv, tsv), not --format {args.format}"
+        )
+    return resolve_format(args.format, key=args.key if args.key else 0)
 
 
 def _open_input(path: Optional[str]) -> ContextManager[TextIO]:
@@ -85,90 +98,87 @@ def _open_output(path: Optional[str]) -> ContextManager[TextIO]:
 
 
 def cmd_sort(args: argparse.Namespace) -> int:
-    if args.workers > 1:
-        return _sort_parallel(args)
-    generator = _make_generator(args)
-    sorter = FileSpillSort(
-        generator, fan_in=args.fan_in, buffer_records=args.merge_buffer
-    )
-    with _open_input(args.input) as handle, _open_output(args.output) as out:
-        # End-to-end streaming: runs spill to temp files as they are
-        # generated and the merge reads them back lazily, so no list of
-        # all runs (or of the merged output) is ever materialised.
-        for key in sorter.sort(_read_keys(handle)):
-            out.write(f"{key}\n")
-    if args.report and sorter.report is not None:
-        # summary() opens with the same records/runs header line, so
-        # the plain stats line would print twice with --report.
-        print(sorter.report.summary(), file=sys.stderr)
-        print(
-            f"  spill  passes={sorter.merge_passes}  "
-            f"peak_buffered={sorter.max_resident_records} records  "
-            f"readers<={sorter.max_open_readers}",
-            file=sys.stderr,
-        )
-    else:
-        print(
-            f"{generator.name}: {generator.stats.records_in} records in "
-            f"{generator.stats.runs_out} runs "
-            f"(avg {generator.stats.average_run_length:.0f} records)",
-            file=sys.stderr,
-        )
-    return 0
-
-
-def _sort_parallel(args: argparse.Namespace) -> int:
-    """`sort --workers N`: partitioned sort across worker processes."""
-    sorter = PartitionedSort(
+    engine = SortEngine(
         _make_spec(args),
+        record_format=_record_format(args),
         workers=args.workers,
         partition=args.partition,
         fan_in=args.fan_in,
         buffer_records=args.merge_buffer,
+        block_records=args.block_records,
+        reading=args.reading,
     )
     with _open_input(args.input) as handle, _open_output(args.output) as out:
-        for key in sorter.sort(_read_keys(handle)):
-            out.write(f"{key}\n")
-    report = sorter.report
-    if not args.report:
+        # End-to-end streaming: records decode and encode in blocks,
+        # runs spill to temp files as they are generated, and the merge
+        # reads them back lazily, so no list of all runs (or of the
+        # merged output) is ever materialised.
+        engine.sort_stream(handle, out)
+    _print_sort_report(engine, args.report)
+    return 0
+
+
+def _print_sort_report(engine: SortEngine, verbose: bool) -> None:
+    """Unified ``--report`` rendering for every execution mode."""
+    report = engine.report
+    if not verbose:
         print(
             f"{report.algorithm}: {report.records} records in "
             f"{report.runs} runs "
             f"(avg {report.average_run_length:.0f} records)",
             file=sys.stderr,
         )
-    else:
-        # Combined report (opens with the same records/runs header;
-        # cpu_ops summed across shards, wall times measured in the
-        # parent), then one line per worker.
-        print(report.summary(), file=sys.stderr)
+        return
+    # summary() opens with the same records/runs header line, so the
+    # plain stats line would print twice with --report.
+    print(report.summary(), file=sys.stderr)
+    plan = engine.plan
+    backend = engine.backend
+    if plan.mode == "in_memory":
+        print(f"  plan   in-memory: {plan.reason}", file=sys.stderr)
+        return
+    if plan.mode == "parallel":
+        # Combined report first (cpu_ops summed across shards, wall
+        # times measured in the parent), then one line per worker.
         print(
-            f"  partition strategy={sorter.partition}  "
-            f"wall={sorter.partition_wall:.3f}s  "
-            f"shards={sorter.shard_records}",
+            f"  partition strategy={backend.partition}  "
+            f"wall={backend.partition_wall:.3f}s  "
+            f"shards={backend.shard_records}",
             file=sys.stderr,
         )
-        for i, worker in enumerate(sorter.worker_reports):
+        for i, worker in enumerate(backend.worker_reports):
             print(
                 f"  worker {i}: {worker.records} records in "
                 f"{worker.runs} runs  "
-                f"memory={sorter.granted_memories[i]}  "
+                f"memory={backend.granted_memories[i]}  "
                 f"run_wall={worker.run_phase.wall_time:.3f}s  "
                 f"merge_wall={worker.merge_phase.wall_time:.3f}s",
                 file=sys.stderr,
             )
+    print(
+        f"  spill  passes={engine.merge_passes}  "
+        f"peak_buffered={engine.max_resident_records} records  "
+        f"readers<={engine.max_open_readers}",
+        file=sys.stderr,
+    )
+    stats = engine.reading_stats
+    if stats is not None:
         print(
-            f"  spill  passes={sorter.merge_passes}  "
-            f"peak_buffered={sorter.max_resident_records} records  "
-            f"readers<={sorter.max_open_readers}",
+            f"  read   strategy={stats.strategy}  "
+            f"blocks={stats.block_reads}  "
+            f"prefetched={stats.prefetches}  hits={stats.prefetch_hits}",
             file=sys.stderr,
         )
-    return 0
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
+    record_format = _record_format(args)
     with _open_input(args.input) as handle:
-        data = list(_read_keys(handle))
+        data = list(
+            iter_records(
+                handle, record_format, DEFAULT_BLOCK_RECORDS, skip_blank=True
+            )
+        )
     header = f"{'algorithm':<10} {'runs':>6} {'avg length':>12} {'cpu ops':>12}"
     if args.report:
         header += f" {'run time':>10} {'total time':>11}"
@@ -176,19 +186,20 @@ def cmd_runs(args: argparse.Namespace) -> int:
     for name in ALGORITHMS:
         namespace = argparse.Namespace(**vars(args))
         namespace.algorithm = name
-        generator = _make_generator(namespace)
+        spec = spec_for_format(_make_spec(namespace), record_format)
         if args.report:
-            # Full simulated pipeline, so the paper's two headline
-            # timings (run phase, run+merge) appear per algorithm.
-            pipeline = ExternalSort(generator, fan_in=args.fan_in)
-            _, report = pipeline.sort(iter(data))
-            stats = generator.stats
+            # Full simulated pipeline (the engine's fourth backend), so
+            # the paper's two headline timings (run phase, run+merge)
+            # appear per algorithm.
+            report = SortEngine.simulate(spec, data, fan_in=args.fan_in)
             print(
-                f"{generator.name:<10} {report.runs:>6} "
-                f"{report.average_run_length:>12.1f} {stats.cpu_ops:>12}"
+                f"{report.algorithm:<10} {report.runs:>6} "
+                f"{report.average_run_length:>12.1f} "
+                f"{report.run_phase.cpu_ops:>12}"
                 f" {report.run_time:>9.3f}s {report.total_time:>10.3f}s"
             )
         else:
+            generator = spec.build()
             for _ in generator.generate_runs(iter(data)):
                 pass
             stats = generator.stats
@@ -230,6 +241,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a value >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -252,15 +270,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--fan-in", type=_fan_in, default=DEFAULT_FAN_IN,
                        help=f"merge fan-in (default {DEFAULT_FAN_IN})")
+        p.add_argument("--format", choices=FORMAT_NAMES, default="int",
+                       help="record type: one int/float/str per line, or "
+                            "csv/tsv rows sorted by --key (default int)")
+        p.add_argument("--key", type=_non_negative_int, default=None,
+                       help="0-based key column, only valid with --format "
+                            "csv/tsv (default 0); e.g. --format csv --key 2 "
+                            "sorts rows by their third field")
         p.add_argument("--report", action="store_true",
                        help="print phase timings (SortReport) to stderr")
 
-    p_sort = sub.add_parser("sort", help="externally sort integer keys")
+    p_sort = sub.add_parser("sort", help="externally sort typed records")
     add_generator_options(p_sort)
     p_sort.add_argument("--merge-buffer", type=_positive_int,
                         default=DEFAULT_BUFFER_RECORDS,
                         help="records buffered per run reader during the "
                              f"merge (default {DEFAULT_BUFFER_RECORDS})")
+    p_sort.add_argument("--block-records", type=_positive_int,
+                        default=DEFAULT_BLOCK_RECORDS,
+                        help="records encoded/decoded per block on the "
+                             "input and output streams "
+                             f"(default {DEFAULT_BLOCK_RECORDS})")
+    p_sort.add_argument("--reading",
+                        choices=(AUTO_READING,) + READING_STRATEGIES,
+                        default=AUTO_READING,
+                        help="final-merge reading strategy over the run "
+                             "files; 'auto' lets the planner choose "
+                             "(default auto)")
     p_sort.add_argument("--workers", type=_positive_int, default=1,
                         help="partition the input and sort the shards in "
                              "this many worker processes; they share the "

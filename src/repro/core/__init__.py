@@ -19,6 +19,16 @@ from repro.core.heuristics import (
     make_output_heuristic,
 )
 from repro.core.input_buffer import InputBuffer
+from repro.core.records import (
+    FLOAT,
+    FORMAT_NAMES,
+    INT,
+    STR,
+    CallableFormat,
+    DelimitedFormat,
+    RecordFormat,
+    resolve_format,
+)
 from repro.core.streams import RunStreams
 from repro.core.two_way import TwoWayReplacementSelection
 from repro.core.victim_buffer import VictimBuffer, VictimPhase, largest_gap
@@ -27,6 +37,14 @@ __all__ = [
     "AdaptiveInput",
     "BUFFER_FRACTIONS",
     "BUFFER_SETUPS",
+    "CallableFormat",
+    "DelimitedFormat",
+    "FLOAT",
+    "FORMAT_NAMES",
+    "INT",
+    "RecordFormat",
+    "STR",
+    "resolve_format",
     "HeuristicContext",
     "INPUT_HEURISTICS",
     "InputBuffer",

@@ -1,0 +1,348 @@
+"""Pluggable record formats: typed keys and block-level serialisation.
+
+Every real-file backend (spill, parallel, engine merge) moves records
+through newline-delimited text files.  The seed code hard-wired one
+record shape — one integer per line — and paid a Python-level
+``decode(line)`` call per record in every hot loop.  A
+:class:`RecordFormat` replaces those scattered ``encode``/``decode``
+callables with one object that
+
+* decodes and encodes **whole blocks** of lines at a time (the built-in
+  formats do it with one C-level ``map`` per block, which is where the
+  block-batched I/O win of ``repro.engine.block_io`` comes from), and
+* knows how to extract the **sort key** from a record (identity for the
+  scalar formats; a configurable column for delimited rows).
+
+Formats are plain, attribute-only, top-level classes so instances cross
+process boundaries under the ``spawn`` start method (the parallel
+partitioned sort ships one to every worker).
+
+Records must be newline-free: one record is one line, always.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Sequence
+
+__all__ = [
+    "RecordFormat",
+    "IntFormat",
+    "FloatFormat",
+    "StrFormat",
+    "DelimitedFormat",
+    "CallableFormat",
+    "INT",
+    "FLOAT",
+    "STR",
+    "FORMAT_NAMES",
+    "resolve_format",
+]
+
+
+def _strip_line(line: str) -> str:
+    """Remove the terminator ``readline``/``islice`` leave on a line."""
+    return line[:-1] if line.endswith("\n") else line
+
+
+class RecordFormat:
+    """Base class: key extraction plus line/block serialisation.
+
+    Subclasses override the block methods with bulk (C-level) paths;
+    the defaults delegate to the per-record ``encode``/``decode`` so a
+    minimal format only needs those two.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by the CLI ``--format`` flag and in reports.
+    numeric:
+        True when records support arithmetic (mean heuristic, victim
+        buffer gap computation).  Non-numeric formats still sort fine;
+        the engine just avoids the numeric-only 2WRS machinery.
+    blank_input_skippable:
+        True when a whitespace-only input line cannot possibly be a
+        record (the numeric formats), so the CLI's historical blank-
+        line tolerance may drop it.  False for text formats, where a
+        blank or whitespace line *is* a record and must survive.
+    """
+
+    name: str = "custom"
+    numeric: bool = False
+    blank_input_skippable: bool = False
+
+    # -- per-record ------------------------------------------------------------
+
+    def decode(self, text: str) -> Any:
+        """One line (terminator already stripped) -> one record."""
+        raise NotImplementedError
+
+    def encode(self, record: Any) -> str:
+        """One record -> one line (no terminator)."""
+        raise NotImplementedError
+
+    def key(self, record: Any) -> Any:
+        """The sort key of ``record`` (identity unless overridden)."""
+        return record
+
+    # -- whole blocks ---------------------------------------------------------
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        """Decode a block of raw lines (terminators still attached)."""
+        decode = self.decode
+        return [decode(_strip_line(line)) for line in lines]
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        """Encode a block of records into one writable string."""
+        encode = self.encode
+        return "".join([f"{encode(record)}\n" for record in records])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class IntFormat(RecordFormat):
+    """One integer per line — the seed CLI's record shape."""
+
+    name = "int"
+    numeric = True
+    blank_input_skippable = True
+
+    def decode(self, text: str) -> int:
+        return int(text)
+
+    def encode(self, record: Any) -> str:
+        return str(record)
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        # int() tolerates the trailing newline, so no per-line strip.
+        return list(map(int, lines))
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        if not records:
+            return ""
+        return "\n".join(map(str, records)) + "\n"
+
+
+class FloatFormat(RecordFormat):
+    """One float per line; ``repr`` round-trips the value exactly.
+
+    NaN is rejected with a :class:`ValueError`: it is unordered
+    against everything, so one NaN record would silently break every
+    backend's total-order assumption (the merge heap, ``sorted()``,
+    and the byte-identical-across-backends guarantee).  Infinities are
+    ordered and pass through fine.
+    """
+
+    name = "float"
+    numeric = True
+    blank_input_skippable = True
+
+    def decode(self, text: str) -> float:
+        value = float(text)
+        if math.isnan(value):
+            raise ValueError(
+                f"NaN records are unorderable and cannot be sorted: {text!r}"
+            )
+        return value
+
+    def encode(self, record: Any) -> str:
+        return repr(record)
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        values = list(map(float, lines))
+        # One C-level pass; any() short-circuits on the first NaN.
+        if any(map(math.isnan, values)):
+            bad = next(
+                line for line, value in zip(lines, values)
+                if math.isnan(value)
+            )
+            raise ValueError(
+                f"NaN records are unorderable and cannot be sorted: "
+                f"{_strip_line(bad)!r}"
+            )
+        return values
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        if not records:
+            return ""
+        return "\n".join(map(repr, records)) + "\n"
+
+
+class StrFormat(RecordFormat):
+    """One opaque (newline-free) string per line, compared as-is."""
+
+    name = "str"
+    numeric = False
+
+    def decode(self, text: str) -> str:
+        return text
+
+    def encode(self, record: Any) -> str:
+        return record
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        return [_strip_line(line) for line in lines]
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        if not records:
+            return ""
+        return "\n".join(records) + "\n"
+
+
+def _parse_key(text: str) -> Any:
+    """Key column value as a ``(type_rank, value)`` pair.
+
+    Numeric-looking fields (rank 0) compare numerically and sort
+    before text fields (rank 1), which compare lexicographically — a
+    *total* order even for columns that mix numbers and text, where a
+    bare int-or-str fallback would crash the merge heap with a
+    ``TypeError`` on the first cross-type comparison.  A literal NaN
+    is rejected — it is unordered against every float, so it would
+    silently corrupt the merge order.  Python's underscore numeric
+    literals (``int("1_2") == 12``) are NOT honoured: ID-like tokens
+    such as ``1_2`` stay text, matching what any sort utility does.
+    """
+    if "_" in text:
+        return (1, text)
+    try:
+        return (0, int(text))
+    except ValueError:
+        try:
+            value = float(text)
+        except ValueError:
+            return (1, text)
+        if math.isnan(value):
+            raise ValueError(
+                f"NaN key values are unorderable and cannot be "
+                f"sorted: {text!r}"
+            )
+        return (0, value)
+
+
+class DelimitedFormat(RecordFormat):
+    """Delimited rows sorted by one column (``--format csv --key N``).
+
+    A decoded record is the tuple ``(key, line)`` — tuple comparison
+    orders by the key column first and breaks ties on the full row
+    text, so the sort is total and deterministic for any input.  The
+    key itself is a ``(type_rank, value)`` pair from :func:`_parse_key`
+    (numeric fields sort before text fields), and the encoded form is
+    the original row, byte-for-byte.
+
+    Blank and whitespace-only input lines are treated as skippable
+    separators (``blank_input_skippable``): they are never data rows,
+    and a row genuinely missing the key column still raises a clear
+    :class:`ValueError`.
+    """
+
+    name = "delimited"
+    numeric = False  # records are tuples; no arithmetic on them
+    blank_input_skippable = True
+
+    def __init__(self, delimiter: str = ",", key_column: int = 0) -> None:
+        if len(delimiter) != 1 or delimiter == "\n":
+            raise ValueError(
+                f"delimiter must be a single non-newline character, "
+                f"got {delimiter!r}"
+            )
+        if key_column < 0:
+            raise ValueError(f"key_column must be >= 0, got {key_column}")
+        self.delimiter = delimiter
+        self.key_column = key_column
+        self.name = f"csv[{key_column}]" if delimiter == "," else (
+            f"tsv[{key_column}]" if delimiter == "\t"
+            else f"delimited[{delimiter!r}:{key_column}]"
+        )
+
+    def decode(self, text: str) -> Any:
+        fields = text.split(self.delimiter)
+        if self.key_column >= len(fields):
+            raise ValueError(
+                f"row has {len(fields)} column(s), key column "
+                f"{self.key_column} does not exist: {text!r}"
+            )
+        return (_parse_key(fields[self.key_column]), text)
+
+    def encode(self, record: Any) -> str:
+        return record[1]
+
+    def key(self, record: Any) -> Any:
+        return record[0]
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        decode = self.decode
+        return [decode(_strip_line(line)) for line in lines]
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        if not records:
+            return ""
+        return "\n".join([record[1] for record in records]) + "\n"
+
+    def __reduce__(self):
+        # The name attribute is derived; reconstruct from the inputs so
+        # instances stay picklable for spawn workers.
+        return (DelimitedFormat, (self.delimiter, self.key_column))
+
+
+class CallableFormat(RecordFormat):
+    """Adapter for the legacy ``encode``/``decode`` callable pair.
+
+    Keeps :class:`~repro.sort.spill.FileSpillSort`'s original
+    constructor contract working; block operations fall back to one
+    call per record, which is exactly the seed behaviour (and the
+    line-at-a-time baseline ``benchmarks/bench_block_io.py`` measures).
+    """
+
+    name = "callable"
+    numeric = False
+    blank_input_skippable = True  # the seed CLI's integer tolerance
+
+    def __init__(
+        self,
+        encode: Callable[[Any], str],
+        decode: Callable[[str], Any],
+    ) -> None:
+        self._encode = encode
+        self._decode = decode
+
+    def decode(self, text: str) -> Any:
+        return self._decode(text)
+
+    def encode(self, record: Any) -> str:
+        return self._encode(record)
+
+    def __reduce__(self):
+        return (CallableFormat, (self._encode, self._decode))
+
+
+#: Shared stateless instances (all formats are stateless and reusable).
+INT = IntFormat()
+FLOAT = FloatFormat()
+STR = StrFormat()
+
+#: Names accepted by :func:`resolve_format` and the CLI ``--format``.
+FORMAT_NAMES = ("int", "float", "str", "csv", "tsv")
+
+
+def resolve_format(
+    name: str, key: int = 0, delimiter: str = None
+) -> RecordFormat:
+    """Build the :class:`RecordFormat` a CLI spec names.
+
+    ``key`` (and ``delimiter``, for exotic separators) only apply to
+    the delimited formats; ``csv`` and ``tsv`` fix the separator.
+    """
+    if name == "int":
+        return INT
+    if name == "float":
+        return FLOAT
+    if name == "str":
+        return STR
+    if name == "csv":
+        return DelimitedFormat(delimiter or ",", key)
+    if name == "tsv":
+        return DelimitedFormat(delimiter or "\t", key)
+    raise ValueError(
+        f"unknown record format {name!r}; known: {', '.join(FORMAT_NAMES)}"
+    )

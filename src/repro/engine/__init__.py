@@ -1,0 +1,44 @@
+"""Unified sort engine: record formats, block I/O, planner, facade.
+
+``repro.engine`` is the layer every sort backend sits behind
+(DESIGN.md §9): :mod:`~repro.engine.block_io` moves blocks of records
+between files and memory, :mod:`~repro.engine.merge_reading` ports the
+paper's §3.7.2 merge reading strategies to real file handles, and
+:mod:`~repro.engine.planner` picks a backend (in-memory, spill,
+partitioned-parallel) and exposes the :class:`~repro.engine.planner.
+SortEngine` facade the CLI and experiments drive.
+"""
+
+from repro.engine.block_io import (
+    DEFAULT_BLOCK_RECORDS,
+    BlockWriter,
+    read_blocks,
+    write_sequence,
+)
+from repro.engine.merge_reading import READING_STRATEGIES, open_reading
+
+#: Names resolved lazily: the planner imports the sort backends, which
+#: themselves import repro.engine.block_io — an eager import here would
+#: cycle during ``repro.sort`` initialisation.
+_LAZY = ("SortEngine", "SortPlan", "plan_sort")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.engine import planner
+
+        return getattr(planner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_BLOCK_RECORDS",
+    "BlockWriter",
+    "read_blocks",
+    "write_sequence",
+    "READING_STRATEGIES",
+    "open_reading",
+    "SortEngine",
+    "SortPlan",
+    "plan_sort",
+]

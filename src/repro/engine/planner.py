@@ -1,0 +1,430 @@
+"""Sort planner and the :class:`SortEngine` facade (DESIGN.md §9).
+
+One entry point for every sorting backend in the repository.  Given a
+memory budget, a worker count, a :class:`~repro.core.records.
+RecordFormat` and (when known) the input size, :func:`plan_sort` picks
+
+* an **execution mode** — ``in_memory`` (the whole input fits in the
+  sort budget), ``spill`` (:class:`~repro.sort.spill.FileSpillSort`),
+  or ``parallel`` (:class:`~repro.sort.parallel.PartitionedSort`) —
+  and
+* a **merge reading strategy** for the final real-file k-way merge
+  (:mod:`repro.engine.merge_reading`), trading prefetch overhead
+  against read stalls.
+
+The decision table (also in DESIGN.md §9):
+
+========================  ===========  ==========================
+condition                 mode         final-merge reading (auto)
+========================  ===========  ==========================
+``workers > 1``           parallel     forecasting
+``n <= memory``           in_memory    — (no merge happens)
+``n <= memory * fan_in``  spill        naive (single warm pass)
+otherwise / n unknown     spill        forecasting
+========================  ===========  ==========================
+
+When the input size is unknown the engine *probes*: it buffers up to
+``memory + 1`` records before deciding, so tiny inputs are sorted in
+memory without ever touching the disk and anything larger streams
+through the spill backend with the probe chained back in front.
+
+The engine also owns the format-compatibility rule for 2WRS: the
+victim buffer's gap arithmetic needs numeric records, so for
+non-numeric formats (str, delimited rows) a 2WRS spec is rebuilt with
+``buffer_setup="input"`` (the mean heuristic already degrades
+gracefully by itself).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from itertools import chain, islice
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, TextIO
+
+from repro.core.config import RECOMMENDED, GeneratorSpec
+from repro.core.records import INT, RecordFormat
+from repro.engine.block_io import (
+    DEFAULT_BLOCK_RECORDS,
+    BlockWriter,
+    iter_records,
+    validate_block_records,
+)
+from repro.engine.merge_reading import validate_reading
+from repro.merge.kway import MergeCounter, validate_merge_params
+from repro.merge.merge_tree import DEFAULT_FAN_IN
+from repro.runs.base import log_cost
+from repro.sort.external import (
+    DEFAULT_CPU_OP_TIME,
+    ExternalSort,
+    PhaseReport,
+    SortReport,
+)
+from repro.sort.spill import DEFAULT_BUFFER_RECORDS
+
+#: Execution modes a plan can select.
+SORT_MODES = ("in_memory", "spill", "parallel")
+
+#: ``reading="auto"`` resolves against this sentinel set.
+AUTO_READING = "auto"
+
+
+@dataclass(frozen=True, slots=True)
+class SortPlan:
+    """The planner's decision for one sort."""
+
+    mode: str
+    reading: Optional[str]
+    fan_in: int
+    buffer_records: int
+    workers: int
+    reason: str
+
+
+def plan_sort(
+    *,
+    memory: int,
+    workers: int = 1,
+    input_records: Optional[int] = None,
+    fan_in: int = DEFAULT_FAN_IN,
+    buffer_records: int = DEFAULT_BUFFER_RECORDS,
+    reading: str = AUTO_READING,
+) -> SortPlan:
+    """Apply the decision table; see the module docstring."""
+    validate_merge_params(fan_in, buffer_records)
+    if memory < 1:
+        raise ValueError(f"memory must be >= 1, got {memory}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if reading != AUTO_READING:
+        validate_reading(reading)
+
+    if workers > 1:
+        resolved = reading if reading != AUTO_READING else "forecasting"
+        return SortPlan(
+            mode="parallel",
+            reading=resolved,
+            fan_in=fan_in,
+            buffer_records=buffer_records,
+            workers=workers,
+            reason=f"workers={workers} requested",
+        )
+    if input_records is not None and input_records <= memory:
+        return SortPlan(
+            mode="in_memory",
+            reading=None,
+            fan_in=fan_in,
+            buffer_records=buffer_records,
+            workers=1,
+            reason=f"{input_records} records fit the {memory}-record budget",
+        )
+    if reading != AUTO_READING:
+        resolved = reading
+        why = f"requested reading={reading}"
+    elif input_records is not None and input_records <= memory * fan_in:
+        # A single merge pass over files written moments ago: the page
+        # cache is warm, prefetch threads would be pure overhead.
+        resolved = "naive"
+        why = "single warm merge pass"
+    else:
+        resolved = "forecasting"
+        why = "large or unknown input; prefetch hides read latency"
+    return SortPlan(
+        mode="spill",
+        reading=resolved,
+        fan_in=fan_in,
+        buffer_records=buffer_records,
+        workers=1,
+        reason=why,
+    )
+
+
+def spec_for_format(
+    spec: GeneratorSpec, record_format: RecordFormat
+) -> GeneratorSpec:
+    """Adjust a 2WRS spec for formats whose records lack arithmetic.
+
+    The victim buffer computes numeric gaps between records; for
+    non-numeric formats the spec is rebuilt with the input-buffer-only
+    setup (order-based routing works for any comparable keys).
+    """
+    if record_format.numeric or spec.algorithm != "2wrs":
+        return spec
+    two_way = spec.two_way if spec.two_way is not None else RECOMMENDED
+    if two_way.buffer_setup == "input":
+        return spec if spec.two_way is not None else replace(
+            spec, two_way=two_way
+        )
+    return replace(spec, two_way=replace(two_way, buffer_setup="input"))
+
+
+class SortEngine:
+    """Facade over every sort backend behind one plan and one report.
+
+    Parameters
+    ----------
+    spec:
+        Generator recipe (algorithm + memory + 2WRS factors).
+    record_format:
+        Typed record serialisation and key extraction (integers by
+        default; see :mod:`repro.core.records`).
+    workers / partition / sample_records:
+        Parallel decomposition knobs (:class:`PartitionedSort`).
+    fan_in / buffer_records:
+        Merge tree width and per-run read-buffer records.
+    block_records:
+        Records per encode/decode batch on the engine's own input and
+        output streams (:meth:`sort_stream`).
+    reading:
+        Final-merge reading strategy, or ``"auto"`` to let the planner
+        choose (see :func:`plan_sort`).
+    tmp_dir / total_memory / cpu_op_time:
+        Passed through to the chosen backend.
+
+    After a sort is fully consumed, :attr:`report` holds the unified
+    :class:`SortReport`, :attr:`plan` the decision that was executed,
+    and :attr:`merge_passes` / :attr:`max_resident_records` /
+    :attr:`max_open_readers` / :attr:`reading_stats` the merge-side
+    instrumentation (zeros for the in-memory mode).  :attr:`backend`
+    is the underlying sorter (None for in-memory), for callers that
+    need backend-specific detail (per-worker reports, cut points).
+    """
+
+    def __init__(
+        self,
+        spec: GeneratorSpec,
+        *,
+        record_format: RecordFormat = INT,
+        workers: int = 1,
+        partition: str = "hash",
+        sample_records: Optional[int] = None,
+        fan_in: int = DEFAULT_FAN_IN,
+        buffer_records: int = DEFAULT_BUFFER_RECORDS,
+        block_records: int = DEFAULT_BLOCK_RECORDS,
+        reading: str = AUTO_READING,
+        tmp_dir: Optional[str] = None,
+        total_memory: Optional[int] = None,
+        cpu_op_time: float = DEFAULT_CPU_OP_TIME,
+    ) -> None:
+        validate_merge_params(fan_in, buffer_records)
+        validate_block_records(block_records)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec_for_format(spec, record_format)
+        self.record_format = record_format
+        self.workers = workers
+        self.partition = partition
+        self.sample_records = sample_records
+        self.fan_in = fan_in
+        self.buffer_records = buffer_records
+        self.block_records = block_records
+        self.reading = reading
+        self.tmp_dir = tmp_dir
+        self.total_memory = total_memory
+        self.cpu_op_time = cpu_op_time
+        # -- filled in by sort() / merge_files() --
+        self.plan: Optional[SortPlan] = None
+        self.backend: Optional[Any] = None
+        self.report: Optional[SortReport] = None
+        self.merge_passes = 0
+        self.max_resident_records = 0
+        self.max_open_readers = 0
+        self.reading_stats = None
+
+    # -- public API --------------------------------------------------------------
+
+    def sort(
+        self, records: Iterable[Any], input_records: Optional[int] = None
+    ) -> Iterator[Any]:
+        """Lazily yield ``records`` in ascending order.
+
+        ``input_records`` (when the caller knows it) lets the planner
+        decide without probing; otherwise up to ``memory + 1`` records
+        are buffered to tell tiny inputs from spilling ones.
+        """
+        stream = iter(records)
+        memory = self.spec.memory
+        if self.workers > 1 or input_records is not None:
+            plan = self._plan(input_records)
+        else:
+            probe = list(islice(stream, memory + 1))
+            plan = self._plan(len(probe) if len(probe) <= memory else None)
+            stream = chain(probe, stream)
+        self.plan = plan
+        if plan.mode == "in_memory":
+            return self._sort_in_memory(stream)
+        if plan.mode == "parallel":
+            return self._sort_parallel(stream)
+        return self._sort_spill(stream)
+
+    def sort_stream(self, source: TextIO, sink: TextIO) -> int:
+        """Decode ``source``, sort, encode into ``sink``; return length.
+
+        Both directions move in blocks of :attr:`block_records`
+        records; blank input lines are tolerated (the CLI's historical
+        contract).
+        """
+        records = iter_records(
+            source, self.record_format, self.block_records, skip_blank=True
+        )
+        writer = BlockWriter(sink, self.record_format, self.block_records)
+        writer.write_all(self.sort(records))
+        writer.flush()
+        return writer.written
+
+    def merge_files(self, paths: Sequence[str]) -> Iterator[Any]:
+        """Merge already-sorted files into one ascending stream.
+
+        Input files are read, never deleted; intermediate passes (when
+        ``len(paths) > fan_in``) spill to a private temp directory.
+        :attr:`report` afterwards carries the merge phase only.
+        """
+        from repro.sort.spill import SpilledRun, SpillSession, merge_spilled_runs
+
+        session = SpillSession(
+            tempfile.mkdtemp(prefix="repro-merge-", dir=self.tmp_dir)
+        )
+        reading = self._resolved_reading(len(paths))
+        counter = MergeCounter()
+        runs = [
+            SpilledRun(
+                session, path, 0, self.record_format, self.buffer_records,
+                keep=True,
+            )
+            for path in paths
+        ]
+        report = SortReport(algorithm=f"MERGE[{len(paths)}]", records=0)
+        try:
+            started = time.perf_counter()
+            count = 0
+            for record in merge_spilled_runs(
+                session, runs, counter, self.record_format,
+                self.fan_in, self.buffer_records, reading,
+            ):
+                count += 1
+                yield record
+            report.records = count
+            report.merge_phase = PhaseReport(
+                cpu_ops=counter.cpu_ops,
+                cpu_time=counter.cpu_ops * self.cpu_op_time,
+                wall_time=time.perf_counter() - started,
+            )
+            self.report = report
+        finally:
+            self._capture_session(session)
+            session.cleanup()
+
+    @staticmethod
+    def simulate(
+        spec: GeneratorSpec,
+        records: Iterable[Any],
+        fan_in: int = DEFAULT_FAN_IN,
+    ) -> SortReport:
+        """Run the *simulated* pipeline (:class:`ExternalSort`) once.
+
+        The fourth backend behind the facade: analytic CPU + simulated
+        disk timings for experiment harnesses and ``repro runs
+        --report``.
+        """
+        generator = spec.build()
+        pipeline = ExternalSort(generator, fan_in=fan_in)
+        _, report = pipeline.sort(iter(records))
+        return report
+
+    # -- internals -----------------------------------------------------------------
+
+    def _plan(self, input_records: Optional[int]) -> SortPlan:
+        return plan_sort(
+            memory=self.spec.memory,
+            workers=self.workers,
+            input_records=input_records,
+            fan_in=self.fan_in,
+            buffer_records=self.buffer_records,
+            reading=self.reading,
+        )
+
+    def _resolved_reading(self, n_runs: int) -> str:
+        if self.reading != AUTO_READING:
+            return self.reading
+        return "naive" if n_runs <= 1 else "forecasting"
+
+    def _capture_session(self, session: Any) -> None:
+        self.merge_passes = session.merge_passes
+        self.max_resident_records = session.max_resident_records
+        self.max_open_readers = session.max_open_readers
+        self.reading_stats = session.reading_stats
+
+    def _sort_in_memory(self, stream: Iterable[Any]) -> Iterator[Any]:
+        started = time.perf_counter()
+        data = sorted(stream)
+        n = len(data)
+        # Analytic cost of an n log n sort, so in-memory reports stay
+        # comparable with the generators' heap accounting.
+        cpu_ops = n * log_cost(n) if n else 0
+        report = SortReport(
+            algorithm="MEM",
+            records=n,
+            runs=1 if n else 0,
+            run_lengths=[n] if n else [],
+        )
+        report.run_phase = PhaseReport(
+            cpu_ops=cpu_ops,
+            cpu_time=cpu_ops * self.cpu_op_time,
+            wall_time=time.perf_counter() - started,
+        )
+        self.backend = None
+        self.merge_passes = 0
+        self.max_resident_records = 0
+        self.max_open_readers = 0
+        self.reading_stats = None
+        self.report = report
+        return iter(data)
+
+    def _sort_spill(self, stream: Iterable[Any]) -> Iterator[Any]:
+        from repro.sort.spill import FileSpillSort
+
+        backend = FileSpillSort(
+            self.spec.build(),
+            fan_in=self.fan_in,
+            buffer_records=self.buffer_records,
+            tmp_dir=self.tmp_dir,
+            record_format=self.record_format,
+            reading=self.plan.reading,
+            cpu_op_time=self.cpu_op_time,
+        )
+        self.backend = backend
+        return self._finishing(backend, backend.sort(stream))
+
+    def _sort_parallel(self, stream: Iterable[Any]) -> Iterator[Any]:
+        from repro.sort.parallel import PartitionedSort
+
+        kwargs = {}
+        if self.sample_records is not None:
+            kwargs["sample_records"] = self.sample_records
+        backend = PartitionedSort(
+            self.spec,
+            workers=self.workers,
+            partition=self.partition,
+            fan_in=self.fan_in,
+            buffer_records=self.buffer_records,
+            tmp_dir=self.tmp_dir,
+            record_format=self.record_format,
+            reading=self.plan.reading,
+            total_memory=self.total_memory,
+            cpu_op_time=self.cpu_op_time,
+            **kwargs,
+        )
+        self.backend = backend
+        return self._finishing(backend, backend.sort(stream))
+
+    def _finishing(self, backend: Any, merged: Iterator[Any]) -> Iterator[Any]:
+        """Stream a backend's output, then mirror its instrumentation."""
+        try:
+            yield from merged
+        finally:
+            self.report = backend.report
+            self.merge_passes = backend.merge_passes
+            self.max_resident_records = backend.max_resident_records
+            self.max_open_readers = backend.max_open_readers
+            self.reading_stats = backend.reading_stats

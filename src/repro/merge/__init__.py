@@ -1,6 +1,11 @@
 """Merge-phase algorithms (Section 2.1.2 and 6.1.1)."""
 
-from repro.merge.kway import MergeCounter, kway_merge, merge_runs
+from repro.merge.kway import (
+    MergeCounter,
+    kway_merge,
+    merge_runs,
+    validate_merge_params,
+)
 from repro.merge.merge_tree import DEFAULT_FAN_IN, MergeTree, merge_files
 from repro.merge.reading import (
     STRATEGIES,
@@ -28,4 +33,5 @@ __all__ = [
     "merge_runs",
     "polyphase_merge",
     "polyphase_schedule",
+    "validate_merge_params",
 ]

@@ -27,9 +27,30 @@ class MergeCounter:
         self.cpu_ops = 0
 
 
+def validate_merge_params(
+    fan_in: Optional[int] = None, buffer_records: Optional[int] = None
+) -> None:
+    """Reject nonsensical merge parameters with clear errors.
+
+    A fan-in below 2 cannot make progress (merging one stream is a
+    copy) and a read buffer below one record can never hold a head —
+    both used to slip through to confusing downstream behaviour when a
+    caller bypassed the backend constructors.
+    """
+    if fan_in is not None and fan_in < 2:
+        raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+    if buffer_records is not None and buffer_records < 1:
+        raise ValueError(
+            f"buffer_records must be >= 1, got {buffer_records}"
+        )
+
+
 def kway_merge(
     streams: Sequence[Iterable[Any]],
     counter: Optional[MergeCounter] = None,
+    *,
+    fan_in: Optional[int] = None,
+    buffer_records: Optional[int] = None,
 ) -> Iterator[Any]:
     """Lazily merge ``streams`` (each ascending) into one ascending stream.
 
@@ -40,7 +61,21 @@ def kway_merge(
     counter:
         When given, ``records`` and ``cpu_ops`` are accumulated on it
         (``log2 k`` ops per output record, the analytic CPU model).
+    fan_in:
+        Optional declared merge width: validated (``>= 2``) and
+        enforced against ``len(streams)``, so a scheduling bug that
+        hands the final merge more runs than its fan-in fails loudly
+        instead of silently over-widening the merge.
+    buffer_records:
+        Optional declared reader buffer size; validated (``>= 1``).
+        The merge itself does not buffer — the parameter exists so
+        file-backed callers funnel their knobs through one validator.
     """
+    validate_merge_params(fan_in, buffer_records)
+    if fan_in is not None and len(streams) > fan_in:
+        raise ValueError(
+            f"{len(streams)} streams exceed the declared fan_in {fan_in}"
+        )
     iterators: List[Iterator[Any]] = [iter(s) for s in streams]
     heap: BinaryHeap[tuple] = BinaryHeap(_head_before)
     exhausted: Iterator[Any] = iter(())
@@ -88,8 +123,7 @@ def reduce_to_fan_in(
     ``fan_in`` entries ready for a final (usually streaming) merge and
     ``extra_passes`` counts the intermediate passes performed.
     """
-    if fan_in < 2:
-        raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+    validate_merge_params(fan_in)
     level = list(runs)
     passes = 0
     while len(level) > fan_in:

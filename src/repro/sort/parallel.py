@@ -30,13 +30,17 @@ import os
 import shutil
 import tempfile
 import time
+import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import GeneratorSpec
-from repro.merge.kway import MergeCounter, kway_merge, reduce_to_fan_in
+from repro.core.records import RecordFormat
+from repro.engine.block_io import iter_records
+from repro.engine.merge_reading import validate_reading
+from repro.merge.kway import MergeCounter, validate_merge_params
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
 from repro.sort.memory_broker import (
@@ -49,7 +53,8 @@ from repro.sort.spill import (
     FileSpillSort,
     SpilledRun,
     SpillSession,
-    merge_group_to_file,
+    merge_spilled_runs,
+    resolve_record_format,
 )
 
 #: Supported partitioning strategies.
@@ -79,16 +84,24 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def hash_shard(record: Any, workers: int) -> int:
+def hash_shard(
+    record: Any, workers: int, encode: Callable[[Any], str] = str
+) -> int:
     """Deterministic shard index of ``record`` under hash partitioning.
 
-    ``hash()`` alone maps small ints to themselves, so consecutive keys
-    from the structured distributions would all land in shard
-    ``key % workers`` patterns; the Fibonacci multiply scrambles them
-    into an even spread while staying deterministic across processes
-    (int hashing does not depend on ``PYTHONHASHSEED``).
+    Numeric records use ``hash()`` (seed-independent for numbers; the
+    Fibonacci multiply scrambles the small-int identity mapping that
+    would otherwise turn consecutive keys into ``key % workers``
+    patterns).  Everything else — strings, delimited-row tuples —
+    hashes ``crc32`` of its *encoded* line instead, because ``hash()``
+    on text depends on ``PYTHONHASHSEED`` and would make shard sizes
+    (and the ``shards=[...]`` report) differ on every invocation.
     """
-    return (((hash(record) * _FIB64) & _MASK64) >> 40) % workers
+    if isinstance(record, (int, float)):
+        h = hash(record)
+    else:
+        h = zlib.crc32(encode(record).encode("utf-8"))
+    return (((h * _FIB64) & _MASK64) >> 40) % workers
 
 
 def range_cut_points(sample: Sequence[Any], workers: int) -> List[Any]:
@@ -112,15 +125,17 @@ def range_cut_points(sample: Sequence[Any], workers: int) -> List[Any]:
     ]
 
 
-def _read_encoded(path: str, decode: Callable[[str], Any]) -> Iterator[Any]:
+def _read_encoded(
+    path: str, record_format: RecordFormat, buffer_records: int
+) -> Iterator[Any]:
     """Stream the records of one newline-delimited partition file.
 
-    The line terminator is stripped before decoding so a pluggable
-    decoder sees exactly what ``encode`` produced.
+    Decoding happens block-at-a-time through the record format, so the
+    worker's ingest loop pays one Python-level call per
+    ``buffer_records`` records instead of one per line.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            yield decode(line[:-1] if line.endswith("\n") else line)
+        yield from iter_records(handle, record_format, buffer_records)
 
 
 def _acquire_memory(
@@ -172,8 +187,7 @@ class ShardTask:
     buffer_records: int
     work_dir: str
     memory_request: int
-    encode: Callable[[Any], str]
-    decode: Callable[[str], Any]
+    record_format: RecordFormat
     cpu_op_time: float
     poll_interval: float
     acquire_timeout: float
@@ -223,12 +237,14 @@ def sort_shard(args: Tuple[ShardTask, Any]) -> ShardResult:
             fan_in=task.fan_in,
             buffer_records=task.buffer_records,
             tmp_dir=task.work_dir,
-            encode=task.encode,
-            decode=task.decode,
+            record_format=task.record_format,
             cpu_op_time=task.cpu_op_time,
         )
         length = sorter.sort_to_path(
-            _read_encoded(task.partition_path, task.decode), task.output_path
+            _read_encoded(
+                task.partition_path, task.record_format, task.buffer_records
+            ),
+            task.output_path,
         )
         # The partition file is fully consumed; free its disk before
         # the parent merge doubles the footprint.
@@ -255,9 +271,12 @@ class PartitionedSort:
     partition:
         "hash" (default; balanced for any distribution) or "range"
         (sampled cut points; shards cover disjoint key ranges).
-    fan_in / buffer_records / tmp_dir / encode / decode / cpu_op_time:
-        As in :class:`FileSpillSort`; encode/decode must be top-level
-        callables so the spawn start method can pickle them.
+    fan_in / buffer_records / tmp_dir / record_format / reading /
+    cpu_op_time:
+        As in :class:`FileSpillSort`; the format (or the legacy
+        ``encode``/``decode`` top-level callables) must be picklable so
+        the spawn start method can ship it to workers.  ``reading``
+        selects the parent merge's real-file reading strategy.
     total_memory:
         Broker pool size in records (defaults to ``spec.memory``).
     mp_context:
@@ -282,8 +301,10 @@ class PartitionedSort:
         fan_in: int = DEFAULT_FAN_IN,
         buffer_records: int = DEFAULT_BUFFER_RECORDS,
         tmp_dir: Optional[str] = None,
-        encode: Callable[[Any], str] = str,
-        decode: Callable[[str], Any] = int,
+        encode: Optional[Callable[[Any], str]] = None,
+        decode: Optional[Callable[[str], Any]] = None,
+        record_format: Optional[RecordFormat] = None,
+        reading: str = "naive",
         total_memory: Optional[int] = None,
         mp_context: str = "spawn",
         sample_records: int = DEFAULT_SAMPLE_RECORDS,
@@ -298,8 +319,7 @@ class PartitionedSort:
                 f"partition must be one of {PARTITION_STRATEGIES}, "
                 f"got {partition!r}"
             )
-        if fan_in < 2:
-            raise ValueError(f"fan_in must be >= 2, got {fan_in}")
+        validate_merge_params(fan_in, buffer_records)
         if sample_records < 1:
             raise ValueError(
                 f"sample_records must be >= 1, got {sample_records}"
@@ -310,8 +330,10 @@ class PartitionedSort:
         self.fan_in = fan_in
         self.buffer_records = buffer_records
         self.tmp_dir = tmp_dir
-        self.encode = encode
-        self.decode = decode
+        self.record_format = resolve_record_format(
+            record_format, encode, decode
+        )
+        self.reading = validate_reading(reading)
         self.total_memory = total_memory if total_memory is not None else spec.memory
         if self.total_memory < MIN_WORKER_MEMORY:
             raise ValueError(
@@ -337,6 +359,8 @@ class PartitionedSort:
         self.merge_passes = 0
         self.max_resident_records = 0
         self.max_open_readers = 0
+        #: Reading-strategy instrumentation of the parent's final merge.
+        self.reading_stats = None
 
     # -- public API --------------------------------------------------------------
 
@@ -371,29 +395,36 @@ class PartitionedSort:
                     session,
                     result.output_path,
                     result.records,
-                    self.decode,
+                    self.record_format,
                     self.buffer_records,
                 )
                 for result in results
             ]
-            runs, extra_passes = reduce_to_fan_in(
-                runs,
-                self.fan_in,
-                lambda group: merge_group_to_file(
-                    session, group, counter,
-                    self.encode, self.decode, self.buffer_records,
-                ),
-            )
-            self.merge_passes = 1 + extra_passes
-            yield from kway_merge([run.records() for run in runs], counter)
-            merge_wall = time.perf_counter() - started
+            try:
+                yield from merge_spilled_runs(
+                    session,
+                    runs,
+                    counter,
+                    self.record_format,
+                    self.fan_in,
+                    self.buffer_records,
+                    self.reading,
+                )
+                merge_wall = time.perf_counter() - started
 
-            report.merge_phase.cpu_ops += counter.cpu_ops
-            report.merge_phase.cpu_time += counter.cpu_ops * self.cpu_op_time
-            report.merge_phase.wall_time = merge_wall
-            self.max_resident_records = session.max_resident_records
-            self.max_open_readers = session.max_open_readers
-            self.report = report
+                report.merge_phase.cpu_ops += counter.cpu_ops
+                report.merge_phase.cpu_time += (
+                    counter.cpu_ops * self.cpu_op_time
+                )
+                report.merge_phase.wall_time = merge_wall
+                self.report = report
+            finally:
+                # Mirror FileSpillSort: instrumentation reflects the
+                # merge even when the stream is abandoned mid-way.
+                self.merge_passes = session.merge_passes
+                self.reading_stats = session.reading_stats
+                self.max_resident_records = session.max_resident_records
+                self.max_open_readers = session.max_open_readers
         finally:
             shutil.rmtree(work_dir, ignore_errors=True)
 
@@ -406,17 +437,34 @@ class PartitionedSort:
 
         This loop is the sort's sequential bottleneck, so it does no
         accounting — per-shard record counts come back from the workers.
+        Writes are batched per shard, but the batches together never
+        hold more than ``total_memory`` records: the parent's
+        partitioning residency stays inside the same budget the
+        workers share, instead of adding ``workers * buffer_records``
+        of unaccounted memory on top.
         """
         paths = [
             os.path.join(work_dir, f"part-{i:03d}.txt")
             for i in range(self.workers)
         ]
-        encode = self.encode
+        encode_block = self.record_format.encode_block
+        block_records = max(
+            1, min(self.buffer_records, self.total_memory // self.workers)
+        )
         shard_of, stream = self._shard_function(iter(records))
         handles = [open(path, "w", encoding="utf-8") for path in paths]
+        pending: List[List[Any]] = [[] for _ in paths]
         try:
             for record in stream:
-                handles[shard_of(record)].write(f"{encode(record)}\n")
+                shard = shard_of(record)
+                bucket = pending[shard]
+                bucket.append(record)
+                if len(bucket) >= block_records:
+                    handles[shard].write(encode_block(bucket))
+                    pending[shard] = []
+            for shard, bucket in enumerate(pending):
+                if bucket:
+                    handles[shard].write(encode_block(bucket))
         finally:
             for handle in handles:
                 handle.close()
@@ -436,7 +484,10 @@ class PartitionedSort:
             return (lambda record: 0), stream
         if self.partition == "hash":
             workers = self.workers
-            return (lambda record: hash_shard(record, workers)), stream
+            encode = self.record_format.encode
+            return (
+                lambda record: hash_shard(record, workers, encode)
+            ), stream
         sample: List[Any] = []
         for record in stream:
             sample.append(record)
@@ -465,8 +516,7 @@ class PartitionedSort:
                 buffer_records=self.buffer_records,
                 work_dir=work_dir,
                 memory_request=self.memory_per_worker,
-                encode=self.encode,
-                decode=self.decode,
+                record_format=self.record_format,
                 cpu_op_time=self.cpu_op_time,
                 poll_interval=self.poll_interval,
                 acquire_timeout=self.acquire_timeout,

@@ -9,6 +9,15 @@ O(memory_capacity + fan_in * buffer_records) regardless of the input
 size — the whole point of external sorting — where the previous CLI
 path materialised every run and the merged output as Python lists.
 
+Serialisation is delegated to a :class:`~repro.core.records.
+RecordFormat` (DESIGN.md §9): spill files are written and read in
+*blocks* of records through :mod:`repro.engine.block_io`, and the final
+merge can read through any of the real-file reading strategies of
+:mod:`repro.engine.merge_reading` (``naive`` by default — identical
+behaviour to the seed).  The legacy ``encode=``/``decode=`` callable
+pair is still accepted and wrapped in a
+:class:`~repro.core.records.CallableFormat`.
+
 The backend instruments its own laziness: :attr:`FileSpillSort.
 max_resident_records` tracks the largest number of records ever held in
 read buffers at once and :attr:`FileSpillSort.max_open_readers` the
@@ -22,16 +31,50 @@ import os
 import shutil
 import tempfile
 import time
-from itertools import islice
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.merge.kway import MergeCounter, kway_merge, reduce_to_fan_in
+from repro.core.records import INT, CallableFormat, RecordFormat
+from repro.engine.block_io import BlockWriter, read_blocks, write_sequence
+from repro.engine.merge_reading import (
+    ReadingStats,
+    open_reading,
+    validate_reading,
+)
+from repro.merge.kway import (
+    MergeCounter,
+    kway_merge,
+    reduce_to_fan_in,
+    validate_merge_params,
+)
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import RunGenerator
 from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
 
 #: Records decoded per read chunk of one run reader.
 DEFAULT_BUFFER_RECORDS = 4096
+
+
+def resolve_record_format(
+    record_format: Optional[RecordFormat],
+    encode: Optional[Callable[[Any], str]],
+    decode: Optional[Callable[[str], Any]],
+) -> RecordFormat:
+    """One format from either the new or the legacy constructor shape.
+
+    ``record_format`` wins; a legacy ``encode``/``decode`` pair (or a
+    single half, completed with the integer default for the other) is
+    wrapped in a :class:`CallableFormat`; neither means integers.
+    """
+    if record_format is not None:
+        if encode is not None or decode is not None:
+            raise ValueError(
+                "pass either record_format or encode/decode, not both"
+            )
+        return record_format
+    if encode is None and decode is None:
+        return INT
+    return CallableFormat(encode if encode is not None else str,
+                          decode if decode is not None else int)
 
 
 class SpillSession:
@@ -50,6 +93,8 @@ class SpillSession:
         self.open_readers = 0
         self.max_resident_records = 0
         self.max_open_readers = 0
+        #: Final-pass reading instrumentation (set by merge_spilled_runs).
+        self.reading_stats: Optional[ReadingStats] = None
 
     def spill_path(self) -> str:
         path = os.path.join(self.work_dir, f"run-{self.next_spill_id:06d}.txt")
@@ -81,10 +126,10 @@ class SpillSession:
 class SpilledRun:
     """One sorted run stored in a real temporary file.
 
-    Records are one per line, written with the owning sort's ``encode``
-    and read back with ``decode``.  :meth:`records` is a lazy reader
-    that holds at most ``buffer_records`` decoded records at a time and
-    deletes the file once it is fully consumed.
+    Records are one per line in the owning sort's
+    :class:`RecordFormat`.  :meth:`records` is a lazy block-buffered
+    reader that holds at most ``buffer_records`` decoded records at a
+    time and deletes the file once it is fully consumed.
     """
 
     def __init__(
@@ -92,34 +137,28 @@ class SpilledRun:
         session: SpillSession,
         path: str,
         length: int,
-        decode: Callable[[str], Any] = int,
+        record_format: RecordFormat = INT,
         buffer_records: int = DEFAULT_BUFFER_RECORDS,
+        keep: bool = False,
     ) -> None:
         self._session = session
         self.path = path
         self.length = length
-        self.decode = decode
+        self.record_format = record_format
         self.buffer_records = buffer_records
+        #: True for caller-owned files the merge must not delete
+        #: (:meth:`SortEngine.merge_files` inputs).
+        self.keep = keep
 
     def records(self) -> Iterator[Any]:
         """Yield the run's records in order, buffered and lazily."""
         session = self._session
-        decode = self.decode
-        chunk_records = self.buffer_records
         session.reader_opened()
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                while True:
-                    # Strip the line terminator before decoding: int()
-                    # happens to tolerate it, but a pluggable decoder
-                    # (e.g. plain str for string keys) must get exactly
-                    # what encode produced.
-                    chunk = [
-                        decode(line[:-1] if line.endswith("\n") else line)
-                        for line in islice(handle, chunk_records)
-                    ]
-                    if not chunk:
-                        break
+                for chunk in read_blocks(
+                    handle, self.record_format, self.buffer_records
+                ):
                     session.buffer_grew(len(chunk))
                     try:
                         yield from chunk
@@ -130,7 +169,9 @@ class SpilledRun:
         self.discard()
 
     def discard(self) -> None:
-        """Delete the backing file (idempotent)."""
+        """Delete the backing file (idempotent; no-op for kept files)."""
+        if self.keep:
+            return
         try:
             os.remove(self.path)
         except OSError:
@@ -141,23 +182,65 @@ def merge_group_to_file(
     session: SpillSession,
     group: Sequence[SpilledRun],
     counter: MergeCounter,
-    encode: Callable[[Any], str],
-    decode: Callable[[str], Any],
+    record_format: RecordFormat,
     buffer_records: int,
 ) -> SpilledRun:
     """Merge one group of spilled runs into a new spilled run file.
 
     The merge_group callable of one intermediate pass (see
     :func:`repro.merge.kway.reduce_to_fan_in`), shared by the serial
-    spill backend and the parallel partitioned sort's parent merge.
+    spill backend, the parallel partitioned sort's parent merge, and
+    the engine's file merge.
     """
     path = session.spill_path()
-    length = 0
     with open(path, "w", encoding="utf-8") as out:
-        for record in kway_merge([run.records() for run in group], counter):
-            out.write(f"{encode(record)}\n")
-            length += 1
-    return SpilledRun(session, path, length, decode, buffer_records)
+        writer = BlockWriter(out, record_format, buffer_records)
+        writer.write_all(
+            kway_merge([run.records() for run in group], counter)
+        )
+        writer.flush()
+    return SpilledRun(
+        session, path, writer.written, record_format, buffer_records
+    )
+
+
+def merge_spilled_runs(
+    session: SpillSession,
+    runs: Sequence[SpilledRun],
+    counter: MergeCounter,
+    record_format: RecordFormat,
+    fan_in: int,
+    buffer_records: int,
+    reading: str = "naive",
+    merge_group: Optional[Callable[[Sequence[SpilledRun]], SpilledRun]] = None,
+) -> Iterator[Any]:
+    """Reduce ``runs`` to ``fan_in`` and stream the final k-way merge.
+
+    The shared merge tail of every real-file backend: intermediate
+    passes (``merge_group``, :func:`merge_group_to_file` by default)
+    write new spill files; the final merge reads through the named
+    :mod:`~repro.engine.merge_reading` strategy.  ``session.
+    merge_passes`` and ``session.reading_stats`` describe what happened
+    once the stream is consumed.
+    """
+    if merge_group is None:
+        def merge_group(group: Sequence[SpilledRun]) -> SpilledRun:
+            return merge_group_to_file(
+                session, group, counter, record_format, buffer_records
+            )
+    runs, extra_passes = reduce_to_fan_in(runs, fan_in, merge_group)
+    session.merge_passes = 1 + extra_passes
+    strategy = open_reading(
+        reading, runs, record_format, buffer_records, session
+    )
+    session.reading_stats = strategy.stats
+    try:
+        yield from kway_merge(
+            strategy.streams(), counter,
+            fan_in=fan_in, buffer_records=buffer_records,
+        )
+    finally:
+        strategy.close()
 
 
 class FileSpillSort:
@@ -172,21 +255,28 @@ class FileSpillSort:
         Maximum runs merged simultaneously; with more runs than this,
         intermediate merge passes write new spilled runs first.
     buffer_records:
-        Decoded records each run reader holds at a time.
+        Decoded records each run reader holds at a time (also the
+        block size of spill-file writes).
     tmp_dir:
         Parent directory for the per-sort temp directory (system
         default when None).
-    encode / decode:
-        Record <-> line serialisation (integers by default, matching
-        the CLI's key format).
+    record_format:
+        Record <-> line serialisation and key extraction
+        (:data:`~repro.core.records.INT` by default, matching the
+        CLI's historical key format).  The legacy ``encode`` /
+        ``decode`` callables are still accepted instead.
+    reading:
+        Merge reading strategy for the final pass (``naive`` /
+        ``forecasting`` / ``double_buffering``; DESIGN.md §9).
     cpu_op_time:
         Simulated seconds per analytic CPU op, for the report's
         ``cpu_time`` alongside the measured wall times.
 
-    :attr:`report`, :attr:`merge_passes`, :attr:`max_resident_records`
-    and :attr:`max_open_readers` describe the most recently *finished*
-    sort (each ``sort()`` call keeps its own private state while
-    running, so overlapping sorts do not interfere).
+    :attr:`report`, :attr:`merge_passes`, :attr:`max_resident_records`,
+    :attr:`max_open_readers` and :attr:`reading_stats` describe the
+    most recently *finished* sort (each ``sort()`` call keeps its own
+    private state while running, so overlapping sorts do not
+    interfere).
     """
 
     def __init__(
@@ -195,22 +285,21 @@ class FileSpillSort:
         fan_in: int = DEFAULT_FAN_IN,
         buffer_records: int = DEFAULT_BUFFER_RECORDS,
         tmp_dir: Optional[str] = None,
-        encode: Callable[[Any], str] = str,
-        decode: Callable[[str], Any] = int,
+        encode: Optional[Callable[[Any], str]] = None,
+        decode: Optional[Callable[[str], Any]] = None,
+        record_format: Optional[RecordFormat] = None,
+        reading: str = "naive",
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
     ) -> None:
-        if fan_in < 2:
-            raise ValueError(f"fan_in must be >= 2, got {fan_in}")
-        if buffer_records < 1:
-            raise ValueError(
-                f"buffer_records must be >= 1, got {buffer_records}"
-            )
+        validate_merge_params(fan_in, buffer_records)
         self.generator = generator
         self.fan_in = fan_in
         self.buffer_records = buffer_records
         self.tmp_dir = tmp_dir
-        self.encode = encode
-        self.decode = decode
+        self.record_format = resolve_record_format(
+            record_format, encode, decode
+        )
+        self.reading = validate_reading(reading)
         self.cpu_op_time = cpu_op_time
         #: Final :class:`SortReport`; set once a sort is fully consumed.
         self.report: Optional[SortReport] = None
@@ -218,6 +307,18 @@ class FileSpillSort:
         self.merge_passes = 0
         self.max_resident_records = 0
         self.max_open_readers = 0
+        #: Reading-strategy instrumentation of the last final merge.
+        self.reading_stats: Optional[ReadingStats] = None
+
+    # -- legacy serialisation accessors ---------------------------------------
+
+    @property
+    def encode(self) -> Callable[[Any], str]:
+        return self.record_format.encode
+
+    @property
+    def decode(self) -> Callable[[str], Any]:
+        return self.record_format.decode
 
     # -- public API --------------------------------------------------------------
 
@@ -260,13 +361,18 @@ class FileSpillSort:
             )
 
             started = time.perf_counter()
-            runs, extra_passes = reduce_to_fan_in(
+            yield from merge_spilled_runs(
+                session,
                 runs,
+                counter,
+                self.record_format,
                 self.fan_in,
-                lambda group: self._merge_to_file(session, group, counter),
+                self.buffer_records,
+                self.reading,
+                merge_group=lambda group: self._merge_to_file(
+                    session, group, counter
+                ),
             )
-            session.merge_passes = 1 + extra_passes
-            yield from kway_merge([run.records() for run in runs], counter)
             merge_wall = time.perf_counter() - started
 
             report.merge_phase = PhaseReport(
@@ -276,6 +382,7 @@ class FileSpillSort:
             )
             self.report = report
         finally:
+            self.reading_stats = session.reading_stats
             self.merge_passes = session.merge_passes
             self.max_resident_records = session.max_resident_records
             self.max_open_readers = session.max_open_readers
@@ -284,30 +391,26 @@ class FileSpillSort:
     def sort_to_path(self, records: Iterable[Any], path: str) -> int:
         """Sort ``records`` into the file at ``path``; return the length.
 
-        Streaming write of the merged output — the parallel partitioned
-        sort uses this inside worker processes to leave one fully
-        sorted file per shard behind.
+        Streaming block-buffered write of the merged output — the
+        parallel partitioned sort uses this inside worker processes to
+        leave one fully sorted file per shard behind.
         """
-        encode = self.encode
-        length = 0
         with open(path, "w", encoding="utf-8") as out:
-            for record in self.sort(records):
-                out.write(f"{encode(record)}\n")
-                length += 1
-        return length
+            writer = BlockWriter(out, self.record_format, self.buffer_records)
+            writer.write_all(self.sort(records))
+            writer.flush()
+        return writer.written
 
     # -- internals -----------------------------------------------------------------
 
     def _spill_run(
         self, session: SpillSession, run: Sequence[Any]
     ) -> SpilledRun:
-        """Write one generated run to its own temp file."""
+        """Write one generated run to its own temp file, in blocks."""
         path = session.spill_path()
-        encode = self.encode
-        with open(path, "w", encoding="utf-8") as out:
-            out.writelines(f"{encode(record)}\n" for record in run)
+        write_sequence(path, run, self.record_format, self.buffer_records)
         return SpilledRun(
-            session, path, len(run), self.decode, self.buffer_records
+            session, path, len(run), self.record_format, self.buffer_records
         )
 
     def _merge_to_file(
@@ -318,6 +421,5 @@ class FileSpillSort:
     ) -> SpilledRun:
         """One intermediate merge pass node: group -> new spilled run."""
         return merge_group_to_file(
-            session, group, counter,
-            self.encode, self.decode, self.buffer_records,
+            session, group, counter, self.record_format, self.buffer_records
         )

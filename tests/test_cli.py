@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+from collections import Counter
 
 import pytest
 
@@ -131,6 +132,182 @@ class TestExperimentCommand:
     def test_runs_polyphase_experiment(self, capsys):
         assert main(["experiment", "table_2_1_polyphase"]) == 0
         assert "Table 2.1" in capsys.readouterr().out
+
+
+class TestEmptyInput:
+    """Satellite: sorting zero records must exit 0 with a sane report."""
+
+    @pytest.fixture()
+    def empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        return path
+
+    def test_sort_empty_file(self, empty_file, capsys):
+        assert main(["sort", str(empty_file)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 records in 0 runs (avg 0 records)" in captured.err
+
+    def test_sort_empty_file_with_report(self, empty_file, capsys):
+        assert main(["sort", "--report", str(empty_file)]) == 0
+        err = capsys.readouterr().err
+        assert "0 records in 0 runs (avg 0 records)" in err
+        assert "cpu_ops=0" in err
+
+    def test_sort_empty_file_spill_path(self, empty_file, tmp_path, capsys):
+        # Tiny memory would spill — but zero records must still work
+        # when the probe finds nothing.
+        out = tmp_path / "out.txt"
+        assert main(
+            ["sort", "--memory", "16", "--report", str(empty_file),
+             "-o", str(out)]
+        ) == 0
+        assert out.read_text() == ""
+
+    def test_sort_empty_file_parallel(self, empty_file, tmp_path, capsys):
+        out = tmp_path / "out.txt"
+        assert main(
+            ["sort", "--workers", "2", "--report", str(empty_file),
+             "-o", str(out)]
+        ) == 0
+        assert out.read_text() == ""
+        assert "0 records in 0 runs (avg 0 records)" in capsys.readouterr().err
+
+    def test_runs_empty_file(self, empty_file, capsys):
+        assert main(["runs", "--report", str(empty_file)]) == 0
+        out = capsys.readouterr().out
+        for name in ("RS", "2WRS", "LSS", "BRS"):
+            assert name in out
+
+    def test_blank_lines_only(self, tmp_path, capsys):
+        path = tmp_path / "blanks.txt"
+        path.write_text("\n\n   \n")
+        assert main(["sort", str(path)]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestRecordFormats:
+    """Acceptance: every --format sorts byte-identically across the
+    serial spill backend, the parallel backend, and all merge reading
+    strategies."""
+
+    CASES = {
+        "int": (
+            [],
+            lambda rng: [str(rng.randrange(-10_000, 10_000))
+                         for _ in range(400)],
+        ),
+        "float": (
+            [],
+            lambda rng: [repr(rng.gauss(0, 100)) for _ in range(400)],
+        ),
+        "str": (
+            [],
+            lambda rng: [f"w{rng.randrange(100_000):06d}"
+                         for _ in range(400)],
+        ),
+        "csv": (
+            ["--key", "1"],
+            lambda rng: [f"id{i:04d},{rng.randrange(500)},x{i % 3}"
+                         for i in range(400)],
+        ),
+    }
+
+    @pytest.mark.parametrize("fmt", sorted(CASES))
+    def test_byte_identical_across_backends(self, fmt, tmp_path, capsys):
+        import random
+
+        flags, build = self.CASES[fmt]
+        lines = build(random.Random(99))
+        src = tmp_path / "input.txt"
+        src.write_text("".join(f"{line}\n" for line in lines))
+        outputs = set()
+        variants = [
+            ["--reading", "naive"],
+            ["--reading", "forecasting"],
+            ["--reading", "double_buffering"],
+            ["--workers", "2"],
+        ]
+        for index, variant in enumerate(variants):
+            out = tmp_path / f"out-{index}.txt"
+            code = main(
+                ["sort", "--memory", "64", "--format", fmt, *flags,
+                 *variant, str(src), "-o", str(out)]
+            )
+            assert code == 0
+            outputs.add(out.read_text())
+        capsys.readouterr()
+        assert len(outputs) == 1, f"{fmt} output differs across backends"
+        got = outputs.pop().splitlines()
+        assert len(got) == len(lines)
+        assert Counter(got) == Counter(lines)
+
+    def test_csv_sorts_by_key_column(self, tmp_path, capsys):
+        src = tmp_path / "rows.csv"
+        src.write_text("b,3,x\na,1,y\nc,2,z\n")
+        out = tmp_path / "out.csv"
+        assert main(
+            ["sort", "--format", "csv", "--key", "1", str(src),
+             "-o", str(out)]
+        ) == 0
+        assert out.read_text() == "a,1,y\nc,2,z\nb,3,x\n"
+
+    def test_csv_tolerates_blank_separator_lines(self, tmp_path, capsys):
+        src = tmp_path / "rows.csv"
+        src.write_text("b,3,x\n\na,1,y\n  \nc,2,z\n")
+        out = tmp_path / "out.csv"
+        assert main(
+            ["sort", "--format", "csv", "--key", "1", str(src),
+             "-o", str(out)]
+        ) == 0
+        assert out.read_text() == "a,1,y\nc,2,z\nb,3,x\n"
+
+    def test_csv_mixed_key_column_does_not_crash(self, tmp_path, capsys):
+        # One numeric-looking value in a text column: numeric keys rank
+        # before text keys instead of raising a str-vs-int TypeError.
+        src = tmp_path / "rows.csv"
+        src.write_text("a,1\nb,xyz\nc,3\n")
+        out = tmp_path / "out.csv"
+        assert main(
+            ["sort", "--format", "csv", "--key", "1", str(src),
+             "-o", str(out)]
+        ) == 0
+        assert out.read_text() == "a,1\nc,3\nb,xyz\n"
+
+    def test_str_format_keeps_whitespace_records(self, tmp_path, capsys):
+        src = tmp_path / "lines.txt"
+        src.write_text("b\n \na\n")
+        assert main(["sort", "--format", "str", str(src)]) == 0
+        assert capsys.readouterr().out == " \na\nb\n"
+
+    def test_key_without_delimited_format_rejected(self, tmp_path, capsys):
+        src = tmp_path / "lines.txt"
+        src.write_text("2\n1\n")
+        with pytest.raises(SystemExit, match="--key only applies"):
+            main(["sort", "--format", "str", "--key", "2", str(src)])
+
+    def test_float_nan_rejected_loudly(self, tmp_path):
+        src = tmp_path / "vals.txt"
+        src.write_text("2.0\nnan\n1.0\n")
+        with pytest.raises(ValueError, match="NaN"):
+            main(["sort", "--format", "float", str(src),
+                  "-o", str(tmp_path / "out.txt")])
+
+    def test_str_format_sorts_words(self, tmp_path, capsys):
+        src = tmp_path / "words.txt"
+        src.write_text("pear\napple\nfig\n")
+        assert main(["sort", "--format", "str", str(src)]) == 0
+        assert capsys.readouterr().out == "apple\nfig\npear\n"
+
+    def test_reading_strategy_shown_in_report(self, tmp_path, capsys):
+        src = tmp_path / "input.txt"
+        src.write_text("".join(f"{v}\n" for v in range(300, 0, -1)))
+        assert main(
+            ["sort", "--memory", "16", "--reading", "double_buffering",
+             "--report", str(src), "-o", str(tmp_path / "o.txt")]
+        ) == 0
+        assert "strategy=double_buffering" in capsys.readouterr().err
 
 
 class TestDatasetCommand:

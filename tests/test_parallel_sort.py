@@ -52,6 +52,37 @@ class TestPartitioning:
             counts[hash_shard(value, 4)] += 1
         assert min(counts) > 1_500
 
+    def test_hash_shard_deterministic_for_text_across_hash_seeds(self):
+        # str hash() is randomised per process; text records must shard
+        # via their encoded bytes so shard sizes (and the shards=[...]
+        # report) are stable across invocations.
+        import subprocess
+        import sys
+
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.sort.parallel import hash_shard; "
+            "print([hash_shard(w, 4) for w in "
+            "('apple', 'pear', 'fig', ('k', 'row,1'))])"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                cwd=__import__("os").path.dirname(
+                    __import__("os").path.dirname(__file__)
+                ),
+            ).stdout
+            for seed in ("1", "2", "77")
+        }
+        assert len(outputs) == 1, outputs
+
+    def test_invalid_reading_rejected_at_construction(self):
+        spec = GeneratorSpec("lss", 100)
+        with pytest.raises(ValueError, match="unknown reading strategy"):
+            PartitionedSort(spec, workers=2, reading="forcasting")
+
     def test_range_cut_points_are_ascending_quantiles(self):
         sample = list(range(1000, 0, -1))
         cuts = range_cut_points(sample, 4)

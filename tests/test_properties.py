@@ -24,6 +24,8 @@ import pytest
 
 from repro.core.config import GeneratorSpec, TwoWayConfig
 from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
+from repro.core.records import STR, DelimitedFormat
+from repro.engine.planner import SortEngine
 from repro.sort.parallel import PartitionedSort
 from repro.sort.spill import FileSpillSort
 from repro.workloads.generators import DISTRIBUTIONS, make_input
@@ -163,3 +165,81 @@ class TestParallelProperties:
         assert sum(sorter.shard_records) == n, describe(
             mode="parallel", distribution=distribution, seed=seed % 2**31
         )
+
+
+class TestFormatProperties:
+    """The sweep extended to the str and delimited-row record formats.
+
+    The int distributions of Section 5.2 are mapped into the other
+    record shapes (zero-padded strings preserve the distribution's
+    order structure; rows carry the value in a key column), so every
+    distribution's clusteredness is exercised under every format.
+    """
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTION_NAMES)
+    def test_str_format(self, distribution, tmp_path):
+        seed = case_seed("str", distribution)
+        rng = random.Random(seed)
+        algorithm = rng.choice(("rs", "lss", "brs", "2wrs"))
+        memory = rng.choice(MEMORIES)
+        n = rng.randrange(800, 2_400)
+        data = [
+            f"k{value & 0x7FFFFFFF:010d}"
+            for value in make_input(distribution, n, seed=seed % 2**31)
+        ]
+        engine = SortEngine(
+            GeneratorSpec(algorithm, memory),
+            record_format=STR,
+            fan_in=rng.choice((2, 4, 10)),
+            reading=rng.choice(("naive", "forecasting", "double_buffering")),
+            tmp_dir=str(tmp_path),
+        )
+        got = list(engine.sort(iter(data)))
+        check_sorted_permutation(
+            got,
+            data,
+            mode="str-format",
+            distribution=distribution,
+            algorithm=algorithm,
+            memory=memory,
+            records=n,
+            seed=seed % 2**31,
+        )
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTION_NAMES)
+    def test_delimited_format(self, distribution, tmp_path):
+        seed = case_seed("delimited", distribution)
+        rng = random.Random(seed)
+        fmt = DelimitedFormat(",", 1)
+        workers = rng.choice((1, 2))
+        memory = rng.choice((200, 500))
+        n = rng.randrange(800, 2_400)
+        data = [
+            fmt.decode(f"row{index:05d},{value},p{value % 7}")
+            for index, value in enumerate(
+                make_input(distribution, n, seed=seed % 2**31)
+            )
+        ]
+        engine = SortEngine(
+            GeneratorSpec(rng.choice(("rs", "lss", "2wrs")), memory),
+            record_format=fmt,
+            workers=workers,
+            sample_records=256,
+            tmp_dir=str(tmp_path),
+        )
+        got = list(engine.sort(iter(data)))
+        check_sorted_permutation(
+            got,
+            data,
+            mode="delimited-format",
+            distribution=distribution,
+            workers=workers,
+            memory=memory,
+            records=n,
+            seed=seed % 2**31,
+        )
+        # The encoded output preserves every row byte-for-byte.
+        assert sorted(fmt.encode(r) for r in got) == sorted(
+            fmt.encode(r) for r in data
+        ), describe(mode="delimited-format", distribution=distribution,
+                    seed=seed % 2**31)
