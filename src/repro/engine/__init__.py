@@ -3,10 +3,12 @@
 ``repro.engine`` is the layer every sort backend sits behind
 (DESIGN.md §9): :mod:`~repro.engine.block_io` moves blocks of records
 between files and memory, :mod:`~repro.engine.merge_reading` ports the
-paper's §3.7.2 merge reading strategies to real file handles, and
+paper's §3.7.2 merge reading strategies to real file handles,
 :mod:`~repro.engine.planner` picks a backend (in-memory, spill,
 partitioned-parallel) and exposes the :class:`~repro.engine.planner.
-SortEngine` facade the CLI and experiments drive.
+SortEngine` facade the CLI and experiments drive, and
+:mod:`~repro.engine.resilience` makes the spilling backends
+crash-safe and resumable (DESIGN.md §11).
 """
 
 from repro.engine.block_io import (
@@ -15,6 +17,7 @@ from repro.engine.block_io import (
     read_blocks,
     write_sequence,
 )
+from repro.engine.errors import CorruptBlockError, JournalError, SortError
 from repro.engine.merge_reading import READING_STRATEGIES, open_reading
 
 #: Names resolved lazily: the planner imports the sort backends, which
@@ -34,6 +37,9 @@ def __getattr__(name):
 __all__ = [
     "DEFAULT_BLOCK_RECORDS",
     "BlockWriter",
+    "CorruptBlockError",
+    "JournalError",
+    "SortError",
     "read_blocks",
     "write_sequence",
     "READING_STRATEGIES",

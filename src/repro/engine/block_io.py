@@ -9,19 +9,78 @@ built-in formats decode a whole block with one C-level ``map``.
 
 ``benchmarks/bench_block_io.py`` measures the difference against the
 line-at-a-time baseline and records it in ``BENCH_blockio.json``.
+
+Two resilience hooks live here as well (DESIGN.md §11):
+
+* **Per-block checksums** — with ``checksum=True`` every encoded block
+  is preceded by a one-line header carrying its record count and the
+  CRC-32 of its encoded bytes.  :func:`read_blocks` verifies each block
+  against its header and raises :class:`~repro.engine.errors.
+  CorruptBlockError` naming the file, block index and byte offset when
+  a block is torn, truncated or bit-flipped, instead of silently
+  merging garbage.
+* **The ``open_text`` seam** — every spill/shard/partition file in the
+  real-file backends is opened through :func:`open_text`, which routes
+  the fresh handle through an installable wrapper.  The deterministic
+  fault-injection harness (:mod:`repro.testing.faults`) uses it to
+  place exceptions, short writes and bit flips at exact block-I/O
+  calls without patching any backend.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from collections.abc import Sequence
 from itertools import islice
-from typing import Any, Iterable, Iterator, List, TextIO
+from typing import Any, Callable, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from repro.core.records import RecordFormat
+from repro.engine.errors import CorruptBlockError
 
 #: Records moved per encode/decode batch by default.  Also the default
 #: merge read-buffer size (one buffer holds one block).
 DEFAULT_BLOCK_RECORDS = 4096
+
+#: Leading token of a per-block checksum header line.
+BLOCK_HEADER_PREFIX = "#repro:blk"
+
+#: Installed by :func:`set_io_wrapper`; wraps every handle that
+#: :func:`open_text` returns.  ``None`` = no wrapping (production).
+_IO_WRAPPER: Optional[Callable[[TextIO, str, str], TextIO]] = None
+
+
+def set_io_wrapper(
+    wrapper: Optional[Callable[[TextIO, str, str], TextIO]]
+) -> None:
+    """Install (or clear, with None) the global block-I/O file wrapper.
+
+    The wrapper receives ``(handle, path, mode)`` for every file opened
+    through :func:`open_text` and must return a file-like object.  Only
+    the fault-injection harness installs one; see
+    :func:`repro.testing.faults.activate`.
+    """
+    global _IO_WRAPPER
+    _IO_WRAPPER = wrapper
+
+
+def open_text(path: str, mode: str = "r") -> TextIO:
+    """Open a block-I/O file, routing through the installed wrapper.
+
+    Every real-file backend opens its spill runs, shard files and
+    partition files through this one seam, so a single installed
+    wrapper observes (and can fault) every block-level read and write
+    in the pipeline.
+    """
+    handle = open(path, mode, encoding="utf-8")
+    wrapper = _IO_WRAPPER
+    if wrapper is None:
+        return handle
+    try:
+        return wrapper(handle, path, mode)
+    except BaseException:
+        handle.close()
+        raise
 
 
 def validate_block_records(block_records: int) -> int:
@@ -33,8 +92,77 @@ def validate_block_records(block_records: int) -> int:
     return block_records
 
 
+def block_header(record_count: int, crc: int) -> str:
+    """The checksum header line preceding one encoded block."""
+    return f"{BLOCK_HEADER_PREFIX} {record_count} {crc:08x}\n"
+
+
+def _parse_block_header(line: str, path: str, index: int, offset: int):
+    parts = line.split()
+    if (
+        len(parts) != 3
+        or parts[0] != BLOCK_HEADER_PREFIX
+        or not parts[1].isdigit()
+    ):
+        raise CorruptBlockError(
+            path, index, offset,
+            f"bad or missing block header {line.rstrip()!r} — file is "
+            f"torn or was not written with checksums",
+        )
+    try:
+        crc = int(parts[2], 16)
+    except ValueError:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"unparseable block checksum {parts[2]!r}",
+        ) from None
+    return int(parts[1]), crc
+
+
+def _read_checksummed_blocks(
+    handle: TextIO, fmt: RecordFormat
+) -> Iterator[List[Any]]:
+    """Verify-and-decode loop over a checksummed block file.
+
+    Block sizes are self-describing (each header carries its record
+    count), so the caller's ``block_records`` does not apply: blocks
+    come back exactly as written.
+    """
+    path = getattr(handle, "name", "<stream>")
+    offset = 0
+    index = 0
+    while True:
+        header = next(handle, None)
+        if header is None:
+            return
+        declared, want_crc = _parse_block_header(header, path, index, offset)
+        lines = list(islice(handle, declared))
+        text = "".join(lines)
+        data = text.encode("utf-8")
+        if len(lines) < declared:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"truncated block: header declares {declared} records, "
+                f"file ends after {len(lines)}",
+            )
+        got_crc = zlib.crc32(data)
+        if got_crc != want_crc:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"checksum mismatch: header says {want_crc:08x}, block "
+                f"bytes hash to {got_crc:08x} — block was corrupted on "
+                f"disk or torn mid-write",
+            )
+        offset += len(header.encode("utf-8")) + len(data)
+        index += 1
+        yield fmt.decode_block(lines)
+
+
 def read_blocks(
-    handle: TextIO, fmt: RecordFormat, block_records: int = DEFAULT_BLOCK_RECORDS
+    handle: TextIO,
+    fmt: RecordFormat,
+    block_records: int = DEFAULT_BLOCK_RECORDS,
+    checksum: bool = False,
 ) -> Iterator[List[Any]]:
     """Yield decoded blocks of exactly ``block_records`` records (last
     block may be short).
@@ -42,8 +170,18 @@ def read_blocks(
     Block boundaries are deterministic (``islice`` over lines), so
     buffering instrumentation and tests see stable block sizes
     regardless of record byte lengths.
+
+    With ``checksum=True`` the file must carry per-block headers
+    (written by a checksumming :class:`BlockWriter`); every block is
+    verified against its header and a corrupt, torn or truncated block
+    raises :class:`~repro.engine.errors.CorruptBlockError` with the
+    file, block index and byte offset.  Checksummed blocks come back
+    in their *written* sizes — the headers are authoritative.
     """
     validate_block_records(block_records)
+    if checksum:
+        yield from _read_checksummed_blocks(handle, fmt)
+        return
     while True:
         lines = list(islice(handle, block_records))
         if not lines:
@@ -56,6 +194,7 @@ def iter_records(
     fmt: RecordFormat,
     block_records: int = DEFAULT_BLOCK_RECORDS,
     skip_blank: bool = False,
+    checksum: bool = False,
 ) -> Iterator[Any]:
     """Stream individual records, decoded block-at-a-time.
 
@@ -67,8 +206,16 @@ def iter_records(
     is dropped and the output agrees with ``sort(1)`` line for line.
     Spill and shard files, which the sort writes itself, never need
     the tolerance.
+
+    ``checksum`` reads a per-block-checksummed file (see
+    :func:`read_blocks`); blank-line tolerance never applies there
+    because such files are always machine-written.
     """
     validate_block_records(block_records)
+    if checksum:
+        for block in _read_checksummed_blocks(handle, fmt):
+            yield from block
+        return
     if skip_blank and fmt.blank_input_skippable:
         while True:
             raw = list(islice(handle, block_records))
@@ -88,6 +235,16 @@ class BlockWriter:
     Not a context manager on purpose — it never owns the handle; the
     caller must invoke :meth:`flush` before closing the file (or use
     :func:`write_records`, which does).
+
+    ``checksum=True`` prefixes every flushed block with a header line
+    carrying the block's record count and CRC-32, so readers can
+    detect torn and bit-flipped blocks (:func:`read_blocks` with
+    ``checksum=True``).  ``track_crc=True`` additionally maintains
+    :attr:`file_crc` — the running CRC-32 of every byte written so far
+    — which the resilience journal records per finished run so a
+    resumed sort can verify survivors without trusting them.  Both
+    default off: the extra UTF-8 encode per block is only paid when a
+    durability feature asks for it.
     """
 
     def __init__(
@@ -95,14 +252,20 @@ class BlockWriter:
         handle: TextIO,
         fmt: RecordFormat,
         block_records: int = DEFAULT_BLOCK_RECORDS,
+        checksum: bool = False,
+        track_crc: bool = False,
     ) -> None:
         validate_block_records(block_records)
         self._handle = handle
         self._fmt = fmt
         self._block_records = block_records
+        self._checksum = checksum
+        self._track_crc = track_crc or checksum
         self._pending: List[Any] = []
         #: Total records written (including still-buffered ones).
         self.written = 0
+        #: Running CRC-32 of all bytes written (when tracking is on).
+        self.file_crc = 0
 
     def write(self, record: Any) -> None:
         self._pending.append(record)
@@ -123,10 +286,22 @@ class BlockWriter:
         return self.written - before
 
     def flush(self) -> None:
-        if self._pending:
-            self._handle.write(self._fmt.encode_block(self._pending))
-            # Cleared in place: write_all holds a local alias.
-            self._pending.clear()
+        if not self._pending:
+            return
+        text = self._fmt.encode_block(self._pending)
+        if self._track_crc:
+            data = text.encode("utf-8")
+            block_crc = zlib.crc32(data)
+            if self._checksum:
+                header = block_header(len(self._pending), block_crc)
+                self._handle.write(header)
+                self.file_crc = zlib.crc32(
+                    header.encode("utf-8"), self.file_crc
+                )
+            self.file_crc = zlib.crc32(data, self.file_crc)
+        self._handle.write(text)
+        # Cleared in place: write_all holds a local alias.
+        self._pending.clear()
 
 
 def write_sequence(
@@ -134,23 +309,56 @@ def write_sequence(
     records: Iterable[Any],
     fmt: RecordFormat,
     block_records: int = DEFAULT_BLOCK_RECORDS,
+    checksum: bool = False,
 ) -> int:
     """Write a whole record source to ``path`` in blocks; returns length.
 
     A materialised sequence (e.g. one generated run — the spill-file
     fast path) is sliced directly into encode batches; any other
-    iterable streams through a :class:`BlockWriter`.
+    iterable (or any checksummed write) streams through a
+    :class:`BlockWriter`.
     """
     validate_block_records(block_records)
-    with open(path, "w", encoding="utf-8") as handle:
-        if isinstance(records, Sequence):
+    with open_text(path, "w") as handle:
+        if isinstance(records, Sequence) and not checksum:
             encode_block = fmt.encode_block
             for start in range(0, len(records), block_records):
                 handle.write(
                     encode_block(records[start : start + block_records])
                 )
             return len(records)
-        writer = BlockWriter(handle, fmt, block_records)
+        writer = BlockWriter(handle, fmt, block_records, checksum=checksum)
         writer.write_all(records)
         writer.flush()
     return writer.written
+
+
+def write_block_file(
+    path: str,
+    records: Iterable[Any],
+    fmt: RecordFormat,
+    block_records: int = DEFAULT_BLOCK_RECORDS,
+    checksum: bool = False,
+    fsync: bool = False,
+) -> Tuple[int, int]:
+    """Durable single-file write; returns ``(record_count, file_crc32)``.
+
+    The resilience layer's write primitive: the CRC covers every byte
+    the writer produced (headers included) *before* the operating
+    system or an injected fault had a chance to mangle them, so the
+    journal entry describes the intended file and a later verification
+    pass catches any divergence.  ``fsync=True`` flushes the file to
+    stable storage before returning — a journaled run must never
+    outlive its data.
+    """
+    validate_block_records(block_records)
+    with open_text(path, "w") as handle:
+        writer = BlockWriter(
+            handle, fmt, block_records, checksum=checksum, track_crc=True
+        )
+        writer.write_all(records)
+        writer.flush()
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    return writer.written, writer.file_crc

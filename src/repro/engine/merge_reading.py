@@ -40,7 +40,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.records import RecordFormat
-from repro.engine.block_io import read_blocks, validate_block_records
+from repro.engine.block_io import open_text, read_blocks, validate_block_records
+from repro.engine.errors import SortError
 
 #: Strategy names accepted by :func:`open_reading` and the CLI.
 READING_STRATEGIES = ("naive", "forecasting", "double_buffering")
@@ -101,29 +102,45 @@ class _RunSource:
     the consumer thread.
     """
 
-    __slots__ = ("run", "fmt", "block_records", "handle", "finished",
-                 "_blocks")
+    __slots__ = ("run", "fmt", "block_records", "checksum", "handle",
+                 "finished", "delivered", "_blocks")
 
     def __init__(self, run: Any, fmt: RecordFormat, block_records: int) -> None:
         self.run = run
         self.fmt = fmt
         self.block_records = block_records
+        #: Runs written under a checksumming session verify themselves
+        #: block-by-block as the merge reads them (DESIGN.md §11).
+        self.checksum = bool(getattr(run, "checksum", False))
         self.handle = None
         self.finished = False
+        self.delivered = 0
         self._blocks = None
 
     def read_block(self) -> List[Any]:
         if self.finished:
             return []
         if self.handle is None:
-            self.handle = open(self.run.path, "r", encoding="utf-8")
+            self.handle = open_text(self.run.path)
             self._blocks = read_blocks(
-                self.handle, self.fmt, self.block_records
+                self.handle, self.fmt, self.block_records,
+                checksum=self.checksum,
             )
         block = next(self._blocks, None)
         if block is None:
+            # Checksums vouch for present blocks only; a file that
+            # ends early lost whole blocks and must not merge quietly.
+            expected = getattr(self.run, "length", 0)
+            if expected and self.delivered != expected:
+                self.close()
+                raise SortError(
+                    f"spilled run {self.run.path!r} delivered "
+                    f"{self.delivered} records but {expected} were "
+                    f"written — file was truncated or lost blocks on disk"
+                )
             self.close()
             return []
+        self.delivered += len(block)
         return block
 
     def close(self) -> None:

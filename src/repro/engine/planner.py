@@ -179,6 +179,17 @@ class SortEngine:
     reading:
         Final-merge reading strategy, or ``"auto"`` to let the planner
         choose (see :func:`plan_sort`).
+    checksum:
+        Per-block CRC-32 headers on every spill, shard and partition
+        file (DESIGN.md §11): a torn or bit-flipped block fails the
+        merge loudly with file + offset instead of corrupting output.
+    work_dir / input_fingerprint:
+        Durable mode (DESIGN.md §11): spilling backends journal their
+        progress under the stable ``work_dir`` (kept on failure,
+        removed on success) so ``sort(..., resume=True)`` can skip
+        every run or shard that survived a previous attempt.
+        ``input_fingerprint`` ties the journal to one input; the CLI
+        passes path + size + mtime.
     tmp_dir / total_memory / cpu_op_time:
         Passed through to the chosen backend.
 
@@ -203,6 +214,9 @@ class SortEngine:
         buffer_records: int = DEFAULT_BUFFER_RECORDS,
         block_records: int = DEFAULT_BLOCK_RECORDS,
         reading: str = AUTO_READING,
+        checksum: bool = False,
+        work_dir: Optional[str] = None,
+        input_fingerprint: Optional[str] = None,
         tmp_dir: Optional[str] = None,
         total_memory: Optional[int] = None,
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
@@ -220,9 +234,13 @@ class SortEngine:
         self.buffer_records = buffer_records
         self.block_records = block_records
         self.reading = reading
+        self.checksum = checksum
+        self.work_dir = work_dir
+        self.input_fingerprint = input_fingerprint
         self.tmp_dir = tmp_dir
         self.total_memory = total_memory
         self.cpu_op_time = cpu_op_time
+        self._resume = False
         # -- filled in by sort() / merge_files() --
         self.plan: Optional[SortPlan] = None
         self.backend: Optional[Any] = None
@@ -231,18 +249,38 @@ class SortEngine:
         self.max_resident_records = 0
         self.max_open_readers = 0
         self.reading_stats = None
+        #: Durable-mode reuse accounting of the last sort (zeros for
+        #: fresh or non-durable sorts).
+        self.runs_reused = 0
+        self.merges_reused = 0
+        self.shards_reused = 0
 
     # -- public API --------------------------------------------------------------
 
     def sort(
-        self, records: Iterable[Any], input_records: Optional[int] = None
+        self,
+        records: Iterable[Any],
+        input_records: Optional[int] = None,
+        resume: bool = False,
     ) -> Iterator[Any]:
         """Lazily yield ``records`` in ascending order.
 
         ``input_records`` (when the caller knows it) lets the planner
         decide without probing; otherwise up to ``memory + 1`` records
         are buffered to tell tiny inputs from spilling ones.
+
+        ``resume=True`` (requires ``work_dir``) reuses a compatible
+        journal left behind by a previous failed attempt: surviving
+        runs / shards are verified and skipped, and the output is
+        byte-identical to an uninterrupted sort.  Inputs small enough
+        to sort in memory never have anything to resume.
         """
+        if resume and self.work_dir is None:
+            raise ValueError("resume=True requires a work_dir")
+        self._resume = resume
+        self.runs_reused = 0
+        self.merges_reused = 0
+        self.shards_reused = 0
         stream = iter(records)
         memory = self.spec.memory
         if self.workers > 1 or input_records is not None:
@@ -258,18 +296,20 @@ class SortEngine:
             return self._sort_parallel(stream)
         return self._sort_spill(stream)
 
-    def sort_stream(self, source: TextIO, sink: TextIO) -> int:
+    def sort_stream(
+        self, source: TextIO, sink: TextIO, resume: bool = False
+    ) -> int:
         """Decode ``source``, sort, encode into ``sink``; return length.
 
         Both directions move in blocks of :attr:`block_records`
         records; blank input lines are tolerated (the CLI's historical
-        contract).
+        contract).  ``resume`` is forwarded to :meth:`sort`.
         """
         records = iter_records(
             source, self.record_format, self.block_records, skip_blank=True
         )
         writer = BlockWriter(sink, self.record_format, self.block_records)
-        writer.write_all(self.sort(records))
+        writer.write_all(self.sort(records, resume=resume))
         writer.flush()
         return writer.written
 
@@ -382,6 +422,26 @@ class SortEngine:
         return iter(data)
 
     def _sort_spill(self, stream: Iterable[Any]) -> Iterator[Any]:
+        if self.work_dir is not None:
+            # Durable serial sorting swaps the run generator for the
+            # journaled chunk-aligned one (DESIGN.md §11): exact resume
+            # needs run boundaries that map back to input positions.
+            from repro.engine.resilience import ResumableSpillSort
+
+            backend = ResumableSpillSort(
+                memory=self.spec.memory,
+                work_dir=self.work_dir,
+                fan_in=self.fan_in,
+                buffer_records=self.buffer_records,
+                record_format=self.record_format,
+                reading=self.plan.reading,
+                checksum=self.checksum,
+                resume=self._resume,
+                input_fingerprint=self.input_fingerprint,
+                cpu_op_time=self.cpu_op_time,
+            )
+            self.backend = backend
+            return self._finishing(backend, backend.sort(stream))
         from repro.sort.spill import FileSpillSort
 
         backend = FileSpillSort(
@@ -391,6 +451,7 @@ class SortEngine:
             tmp_dir=self.tmp_dir,
             record_format=self.record_format,
             reading=self.plan.reading,
+            checksum=self.checksum,
             cpu_op_time=self.cpu_op_time,
         )
         self.backend = backend
@@ -412,6 +473,10 @@ class SortEngine:
             record_format=self.record_format,
             reading=self.plan.reading,
             total_memory=self.total_memory,
+            checksum=self.checksum,
+            work_dir=self.work_dir,
+            resume=self._resume,
+            input_fingerprint=self.input_fingerprint,
             cpu_op_time=self.cpu_op_time,
             **kwargs,
         )
@@ -428,3 +493,6 @@ class SortEngine:
             self.max_resident_records = backend.max_resident_records
             self.max_open_readers = backend.max_open_readers
             self.reading_stats = backend.reading_stats
+            self.runs_reused = getattr(backend, "runs_reused", 0)
+            self.merges_reused = getattr(backend, "merges_reused", 0)
+            self.shards_reused = getattr(backend, "shards_reused", 0)

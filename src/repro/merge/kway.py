@@ -79,30 +79,40 @@ def kway_merge(
     iterators: List[Iterator[Any]] = [iter(s) for s in streams]
     heap: BinaryHeap[tuple] = BinaryHeap(_head_before)
     exhausted: Iterator[Any] = iter(())
-    for index, iterator in enumerate(iterators):
-        try:
-            head = next(iterator)
-        except StopIteration:
-            iterators[index] = exhausted
-            continue
-        heap.push((head, index))
+    try:
+        for index, iterator in enumerate(iterators):
+            try:
+                head = next(iterator)
+            except StopIteration:
+                iterators[index] = exhausted
+                continue
+            heap.push((head, index))
 
-    while heap:
-        key, index = heap.peek()
-        if counter is not None:
-            counter.records += 1
-            counter.cpu_ops += log_cost(len(heap))
-        yield key
-        try:
-            head = next(iterators[index])
-        except StopIteration:
-            # Drop the reference so a file-backed reader (and any chunk
-            # it buffers) is freed as soon as its run is exhausted, not
-            # at the end of the whole merge.
-            iterators[index] = exhausted
-            heap.pop()
-        else:
-            heap.replace((head, index))
+        while heap:
+            key, index = heap.peek()
+            if counter is not None:
+                counter.records += 1
+                counter.cpu_ops += log_cost(len(heap))
+            yield key
+            try:
+                head = next(iterators[index])
+            except StopIteration:
+                # Drop the reference so a file-backed reader (and any
+                # chunk it buffers) is freed as soon as its run is
+                # exhausted, not at the end of the whole merge.
+                iterators[index] = exhausted
+                heap.pop()
+            else:
+                heap.replace((head, index))
+    finally:
+        # One raising reader (or an abandoned merge) must not leak the
+        # other streams' open file handles until garbage collection:
+        # close every closeable reader still referenced.  Harmless for
+        # plain iterables and already-finished generators.
+        for iterator in iterators:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
 
 
 def reduce_to_fan_in(

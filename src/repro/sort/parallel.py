@@ -38,7 +38,8 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 
 from repro.core.config import GeneratorSpec
 from repro.core.records import RecordFormat
-from repro.engine.block_io import iter_records
+from repro.engine.block_io import BlockWriter, iter_records, open_text
+from repro.engine.errors import SortError
 from repro.engine.merge_reading import validate_reading
 from repro.merge.kway import MergeCounter, validate_merge_params
 from repro.merge.merge_tree import DEFAULT_FAN_IN
@@ -126,16 +127,24 @@ def range_cut_points(sample: Sequence[Any], workers: int) -> List[Any]:
 
 
 def _read_encoded(
-    path: str, record_format: RecordFormat, buffer_records: int
+    path: str,
+    record_format: RecordFormat,
+    buffer_records: int,
+    checksum: bool = False,
 ) -> Iterator[Any]:
     """Stream the records of one newline-delimited partition file.
 
     Decoding happens block-at-a-time through the record format, so the
     worker's ingest loop pays one Python-level call per
-    ``buffer_records`` records instead of one per line.
+    ``buffer_records`` records instead of one per line.  ``checksum``
+    verifies the per-block headers the parent wrote (DESIGN.md §11),
+    so a partition file corrupted between parent and worker fails
+    loudly in the worker instead of poisoning its shard.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        yield from iter_records(handle, record_format, buffer_records)
+    with open_text(path) as handle:
+        yield from iter_records(
+            handle, record_format, buffer_records, checksum=checksum
+        )
 
 
 def _acquire_memory(
@@ -191,6 +200,14 @@ class ShardTask:
     cpu_op_time: float
     poll_interval: float
     acquire_timeout: float
+    #: Per-block checksums on partition, spill and shard files.
+    checksum: bool = False
+    #: Durable mode: fsync the shard output and leave a ``.ok``
+    #: completion marker behind so a resumed parent can skip it.
+    durable: bool = False
+    #: Records the parent routed into this shard's partition file;
+    #: the worker refuses to return a shard that lost any of them.
+    expected_records: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -213,7 +230,18 @@ def sort_shard(args: Tuple[ShardTask, Any]) -> ShardResult:
     generator from the spec sized to that grant, streams the partition
     file through a :class:`FileSpillSort` into one sorted output file,
     and always releases its grant (re-granting waiters atomically).
+
+    In durable mode the shard file is fsynced and a ``.ok`` completion
+    marker (record count + CRC-32 of the intended bytes) is committed
+    atomically afterwards, so a resumed parent re-sorts exactly the
+    shards that lack a verifiable marker.
     """
+    if os.environ.get("REPRO_FAULT_PLAN"):
+        # Deterministic fault injection crosses the spawn boundary via
+        # the environment; arm this worker's own counters.
+        from repro.testing.faults import activate_from_env
+
+        activate_from_env()
     task, broker = args
     owner = f"shard-{task.index}"
     waited = time.perf_counter()
@@ -238,14 +266,35 @@ def sort_shard(args: Tuple[ShardTask, Any]) -> ShardResult:
             buffer_records=task.buffer_records,
             tmp_dir=task.work_dir,
             record_format=task.record_format,
+            checksum=task.checksum,
             cpu_op_time=task.cpu_op_time,
         )
         length = sorter.sort_to_path(
             _read_encoded(
-                task.partition_path, task.record_format, task.buffer_records
+                task.partition_path, task.record_format,
+                task.buffer_records, checksum=task.checksum,
             ),
             task.output_path,
+            track_crc=task.durable,
+            fsync=task.durable,
         )
+        if (
+            task.expected_records is not None
+            and length != task.expected_records
+        ):
+            raise SortError(
+                f"shard {task.index}: partition file "
+                f"{task.partition_path!r} carried {task.expected_records} "
+                f"records but {length} were sorted — partition data was "
+                f"lost or corrupted in transit"
+            )
+        if task.durable:
+            from repro.engine.resilience import MARKER_SUFFIX, write_marker
+
+            write_marker(
+                task.output_path + MARKER_SUFFIX,
+                {"records": length, "crc32": sorter.last_output_crc},
+            )
         # The partition file is fully consumed; free its disk before
         # the parent merge doubles the footprint.
         os.remove(task.partition_path)
@@ -284,6 +333,17 @@ class PartitionedSort:
         one that is safe everywhere and matches production forkservers).
     sample_records:
         Head-of-stream records buffered to choose range cut points.
+    checksum:
+        Per-block CRC-32 headers on partition, spill and shard files
+        (DESIGN.md §11): corruption anywhere between parent and final
+        merge fails loudly with file + offset.
+    work_dir / resume / input_fingerprint:
+        Durable mode (DESIGN.md §11): shards are sorted under a stable
+        ``work_dir`` with fsync + atomic ``.ok`` completion markers,
+        kept on failure, and ``resume=True`` skips every shard whose
+        marker still verifies — a killed worker costs only its own
+        shard, not the whole sort.  ``input_fingerprint`` ties the
+        directory to one input (mismatch wipes and starts fresh).
 
     After a sort is fully consumed, :attr:`report` holds the combined
     :class:`SortReport`, :attr:`worker_reports` the per-shard reports
@@ -308,6 +368,10 @@ class PartitionedSort:
         total_memory: Optional[int] = None,
         mp_context: str = "spawn",
         sample_records: int = DEFAULT_SAMPLE_RECORDS,
+        checksum: bool = False,
+        work_dir: Optional[str] = None,
+        resume: bool = False,
+        input_fingerprint: Optional[str] = None,
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
         poll_interval: float = 0.005,
         acquire_timeout: float = 600.0,
@@ -342,6 +406,10 @@ class PartitionedSort:
             )
         self.mp_context = mp_context
         self.sample_records = sample_records
+        self.checksum = checksum
+        self.work_dir = work_dir
+        self.resume = resume
+        self.input_fingerprint = input_fingerprint
         self.cpu_op_time = cpu_op_time
         self.poll_interval = poll_interval
         self.acquire_timeout = acquire_timeout
@@ -361,6 +429,10 @@ class PartitionedSort:
         self.max_open_readers = 0
         #: Reading-strategy instrumentation of the parent's final merge.
         self.reading_stats = None
+        #: Shards whose completion markers let a resume skip re-sorting.
+        self.shards_reused = 0
+        #: Records routed into each partition file by the last sort.
+        self._partition_counts: List[Optional[int]] = [None] * workers
 
     # -- public API --------------------------------------------------------------
 
@@ -369,17 +441,37 @@ class PartitionedSort:
 
         Partitioning and the worker fan-out happen on the first
         ``next()``; the returned iterator then streams the parent-side
-        merge of the per-shard sorted files.  All temporary files are
-        removed even when the sort raises or is abandoned mid-stream.
+        merge of the per-shard sorted files.  Without a ``work_dir``
+        all temporary files are removed even when the sort raises or
+        is abandoned mid-stream; in durable mode a failed sort keeps
+        the directory (sorted shards, completion markers, journal) so
+        a ``resume`` re-sorts only what is missing, and only a fully
+        consumed sort removes it.
         """
-        work_dir = tempfile.mkdtemp(prefix="repro-psort-", dir=self.tmp_dir)
+        durable = self.work_dir is not None
+        if durable:
+            from repro.engine.resilience import SortJournal
+
+            # The journal is the compatibility gate: a manifest from a
+            # different configuration or input wipes the directory so
+            # stale shards can never be merged into fresh output.
+            # Shard-level progress itself lives in the ``.ok`` markers
+            # the workers commit (concurrency-free, crash-atomic).
+            SortJournal.open_dir(
+                self.work_dir, self._fingerprint(), self.resume
+            ).close()
+            work_dir = self.work_dir
+        else:
+            work_dir = tempfile.mkdtemp(prefix="repro-psort-", dir=self.tmp_dir)
+        self.shards_reused = 0
+        completed = False
         try:
             started = time.perf_counter()
             partition_paths = self._partition(records, work_dir)
             self.partition_wall = time.perf_counter() - started
 
             started = time.perf_counter()
-            results = self._run_workers(partition_paths, work_dir)
+            results = self._run_workers(partition_paths, work_dir, durable)
             workers_wall = time.perf_counter() - started
 
             report = self._combine_reports(results)
@@ -387,8 +479,8 @@ class PartitionedSort:
 
             started = time.perf_counter()
             merge_dir = os.path.join(work_dir, "merge")
-            os.mkdir(merge_dir)
-            session = SpillSession(merge_dir)
+            os.makedirs(merge_dir, exist_ok=True)
+            session = SpillSession(merge_dir, checksum=self.checksum)
             counter = MergeCounter()
             runs = [
                 SpilledRun(
@@ -397,6 +489,10 @@ class PartitionedSort:
                     result.records,
                     self.record_format,
                     self.buffer_records,
+                    # Durable shard files must survive a failed final
+                    # merge so the resume can reuse them; cleanup
+                    # removes them with the directory on success.
+                    keep=durable,
                 )
                 for result in results
             ]
@@ -418,6 +514,7 @@ class PartitionedSort:
                 )
                 report.merge_phase.wall_time = merge_wall
                 self.report = report
+                completed = True
             finally:
                 # Mirror FileSpillSort: instrumentation reflects the
                 # merge even when the stream is abandoned mid-way.
@@ -426,9 +523,25 @@ class PartitionedSort:
                 self.max_resident_records = session.max_resident_records
                 self.max_open_readers = session.max_open_readers
         finally:
-            shutil.rmtree(work_dir, ignore_errors=True)
+            if not durable or completed:
+                shutil.rmtree(work_dir, ignore_errors=True)
 
     # -- internals -----------------------------------------------------------------
+
+    def _fingerprint(self) -> dict:
+        """Parameters a durable work directory must match to be resumed."""
+        return {
+            "mode": "parallel",
+            "workers": self.workers,
+            "partition": self.partition,
+            "memory": self.spec.memory,
+            "total_memory": self.total_memory,
+            "fan_in": self.fan_in,
+            "buffer_records": self.buffer_records,
+            "checksum": self.checksum,
+            "format": self.record_format.name,
+            "input": self.input_fingerprint,
+        }
 
     def _partition(
         self, records: Iterable[Any], work_dir: str
@@ -447,24 +560,28 @@ class PartitionedSort:
             os.path.join(work_dir, f"part-{i:03d}.txt")
             for i in range(self.workers)
         ]
-        encode_block = self.record_format.encode_block
         block_records = max(
             1, min(self.buffer_records, self.total_memory // self.workers)
         )
         shard_of, stream = self._shard_function(iter(records))
-        handles = [open(path, "w", encoding="utf-8") for path in paths]
-        pending: List[List[Any]] = [[] for _ in paths]
+        handles: List[Any] = []
         try:
+            for path in paths:
+                handles.append(open_text(path, "w"))
+            writers = [
+                BlockWriter(
+                    handle, self.record_format, block_records,
+                    checksum=self.checksum,
+                )
+                for handle in handles
+            ]
             for record in stream:
-                shard = shard_of(record)
-                bucket = pending[shard]
-                bucket.append(record)
-                if len(bucket) >= block_records:
-                    handles[shard].write(encode_block(bucket))
-                    pending[shard] = []
-            for shard, bucket in enumerate(pending):
-                if bucket:
-                    handles[shard].write(encode_block(bucket))
+                writers[shard_of(record)].write(record)
+            for writer in writers:
+                writer.flush()
+            #: Per-shard routed counts; workers verify nothing was lost
+            #: between the parent's writes and their reads.
+            self._partition_counts = [writer.written for writer in writers]
         finally:
             for handle in handles:
                 handle.close()
@@ -503,9 +620,16 @@ class PartitionedSort:
         return (lambda record: bisect_right(cuts, record)), _replay(stream)
 
     def _run_workers(
-        self, partition_paths: List[str], work_dir: str
+        self, partition_paths: List[str], work_dir: str, durable: bool
     ) -> List[ShardResult]:
-        """Fan the shard tasks out to the worker pool; shard order kept."""
+        """Fan the shard tasks out to the worker pool; shard order kept.
+
+        In durable mode, shards whose completion markers verify
+        against their on-disk files are not re-sorted: their results
+        are synthesised from the markers (``algorithm="REUSED"``,
+        zero worker cost) and only the remaining shards go to the
+        pool — a killed worker's shard is exactly what gets redone.
+        """
         tasks = [
             ShardTask(
                 index=i,
@@ -520,22 +644,73 @@ class PartitionedSort:
                 cpu_op_time=self.cpu_op_time,
                 poll_interval=self.poll_interval,
                 acquire_timeout=self.acquire_timeout,
+                checksum=self.checksum,
+                durable=durable,
+                expected_records=self._partition_counts[i],
             )
             for i, path in enumerate(partition_paths)
         ]
-        if self.workers == 1:
+        results: List[ShardResult] = []
+        pending = tasks
+        if durable:
+            from repro.engine.resilience import (
+                MARKER_SUFFIX,
+                artifact_valid,
+                read_marker,
+            )
+
+            pending = []
+            for task in tasks:
+                marker = read_marker(task.output_path + MARKER_SUFFIX)
+                if (
+                    marker is not None
+                    and isinstance(marker.get("records"), int)
+                    and artifact_valid(
+                        task.output_path,
+                        marker["records"],
+                        marker.get("crc32", -1),
+                    )
+                ):
+                    try:
+                        os.remove(task.partition_path)
+                    except OSError:
+                        pass
+                    results.append(
+                        ShardResult(
+                            index=task.index,
+                            output_path=task.output_path,
+                            records=marker["records"],
+                            granted_memory=0,
+                            wait_time=0.0,
+                            report=SortReport(
+                                algorithm="REUSED",
+                                records=marker["records"],
+                            ),
+                        )
+                    )
+                else:
+                    pending.append(task)
+            self.shards_reused = len(results)
+        if not pending:
+            pass
+        elif self.workers == 1 or len(pending) == 1:
             # Serial fallback: same worker code path, but against a
             # plain in-process broker — no manager process, no proxies.
-            results = [sort_shard((tasks[0], MemoryBroker(self.total_memory)))]
+            broker = MemoryBroker(self.total_memory)
+            results.extend(sort_shard((task, broker)) for task in pending)
         else:
             with SharedMemoryBroker(
                 self.total_memory, self.mp_context
             ) as broker:
                 ctx = get_context(self.mp_context)
-                with ctx.Pool(processes=self.workers) as pool:
-                    results = pool.map(
-                        sort_shard,
-                        [(task, broker.proxy) for task in tasks],
+                with ctx.Pool(
+                    processes=min(self.workers, len(pending))
+                ) as pool:
+                    results.extend(
+                        pool.map(
+                            sort_shard,
+                            [(task, broker.proxy) for task in pending],
+                        )
                     )
         results.sort(key=lambda result: result.index)
         self.worker_reports = [result.report for result in results]

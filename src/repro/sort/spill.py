@@ -34,7 +34,13 @@ import time
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.core.records import INT, CallableFormat, RecordFormat
-from repro.engine.block_io import BlockWriter, read_blocks, write_sequence
+from repro.engine.errors import SortError
+from repro.engine.block_io import (
+    BlockWriter,
+    open_text,
+    read_blocks,
+    write_sequence,
+)
 from repro.engine.merge_reading import (
     ReadingStats,
     open_reading,
@@ -85,8 +91,11 @@ class SpillSession:
     temp directory or cross-wire each other's instrumentation.
     """
 
-    def __init__(self, work_dir: str) -> None:
+    def __init__(self, work_dir: str, checksum: bool = False) -> None:
         self.work_dir = work_dir
+        #: Spill files written under this session carry per-block
+        #: checksum headers (DESIGN.md §11); readers verify them.
+        self.checksum = checksum
         self.next_spill_id = 0
         self.merge_passes = 0
         self.resident = 0
@@ -147,18 +156,33 @@ class SpilledRun:
         self.record_format = record_format
         self.buffer_records = buffer_records
         #: True for caller-owned files the merge must not delete
-        #: (:meth:`SortEngine.merge_files` inputs).
+        #: (:meth:`SortEngine.merge_files` inputs) and for journaled
+        #: durable runs, which only their resilience layer may delete.
         self.keep = keep
 
+    @property
+    def checksum(self) -> bool:
+        """Whether this run's file carries per-block checksum headers."""
+        return self._session.checksum
+
     def records(self) -> Iterator[Any]:
-        """Yield the run's records in order, buffered and lazily."""
+        """Yield the run's records in order, buffered and lazily.
+
+        A run whose file ends early — checksums can only vouch for the
+        blocks that *are* there, not for silently missing ones — fails
+        with a :class:`~repro.engine.errors.SortError` naming the file
+        and both counts, instead of quietly merging a partial run.
+        """
         session = self._session
+        delivered = 0
         session.reader_opened()
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
+            with open_text(self.path) as handle:
                 for chunk in read_blocks(
-                    handle, self.record_format, self.buffer_records
+                    handle, self.record_format, self.buffer_records,
+                    checksum=self.checksum,
                 ):
+                    delivered += len(chunk)
                     session.buffer_grew(len(chunk))
                     try:
                         yield from chunk
@@ -166,6 +190,12 @@ class SpilledRun:
                         session.buffer_shrank(len(chunk))
         finally:
             session.reader_closed()
+        if self.length and delivered != self.length:
+            raise SortError(
+                f"spilled run {self.path!r} delivered {delivered} records "
+                f"but {self.length} were written — file was truncated or "
+                f"lost blocks on disk"
+            )
         self.discard()
 
     def discard(self) -> None:
@@ -193,8 +223,10 @@ def merge_group_to_file(
     the engine's file merge.
     """
     path = session.spill_path()
-    with open(path, "w", encoding="utf-8") as out:
-        writer = BlockWriter(out, record_format, buffer_records)
+    with open_text(path, "w") as out:
+        writer = BlockWriter(
+            out, record_format, buffer_records, checksum=session.checksum
+        )
         writer.write_all(
             kway_merge([run.records() for run in group], counter)
         )
@@ -268,6 +300,11 @@ class FileSpillSort:
     reading:
         Merge reading strategy for the final pass (``naive`` /
         ``forecasting`` / ``double_buffering``; DESIGN.md §9).
+    checksum:
+        Write per-block CRC-32 headers into every spill file and
+        verify them on read-back (DESIGN.md §11), so a torn or
+        bit-flipped block fails the merge loudly with file + offset
+        instead of silently merging garbage.
     cpu_op_time:
         Simulated seconds per analytic CPU op, for the report's
         ``cpu_time`` alongside the measured wall times.
@@ -289,6 +326,7 @@ class FileSpillSort:
         decode: Optional[Callable[[str], Any]] = None,
         record_format: Optional[RecordFormat] = None,
         reading: str = "naive",
+        checksum: bool = False,
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
     ) -> None:
         validate_merge_params(fan_in, buffer_records)
@@ -300,7 +338,13 @@ class FileSpillSort:
             record_format, encode, decode
         )
         self.reading = validate_reading(reading)
+        self.checksum = checksum
         self.cpu_op_time = cpu_op_time
+        #: CRC-32 of the bytes the last :meth:`sort_to_path` intended
+        #: to write (set when ``track_crc=True``); shard completion
+        #: markers record it so resume verification catches any
+        #: divergence between intent and disk.
+        self.last_output_crc: Optional[int] = None
         #: Final :class:`SortReport`; set once a sort is fully consumed.
         self.report: Optional[SortReport] = None
         #: Merge passes of the last sort (1 = single lazy merge).
@@ -335,7 +379,8 @@ class FileSpillSort:
         # a decode error during the merge, the caller abandoning the
         # iterator — must reach the finally and remove the directory.
         session = SpillSession(
-            tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir)
+            tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir),
+            checksum=self.checksum,
         )
         try:
             counter = MergeCounter()
@@ -388,17 +433,34 @@ class FileSpillSort:
             self.max_open_readers = session.max_open_readers
             session.cleanup()
 
-    def sort_to_path(self, records: Iterable[Any], path: str) -> int:
+    def sort_to_path(
+        self,
+        records: Iterable[Any],
+        path: str,
+        track_crc: bool = False,
+        fsync: bool = False,
+    ) -> int:
         """Sort ``records`` into the file at ``path``; return the length.
 
         Streaming block-buffered write of the merged output — the
         parallel partitioned sort uses this inside worker processes to
-        leave one fully sorted file per shard behind.
+        leave one fully sorted file per shard behind.  ``track_crc``
+        records the output's CRC-32 in :attr:`last_output_crc` and
+        ``fsync`` forces the file to stable storage before returning —
+        both required before a durable completion marker may be
+        written for the file.
         """
-        with open(path, "w", encoding="utf-8") as out:
-            writer = BlockWriter(out, self.record_format, self.buffer_records)
+        with open_text(path, "w") as out:
+            writer = BlockWriter(
+                out, self.record_format, self.buffer_records,
+                checksum=self.checksum, track_crc=track_crc,
+            )
             writer.write_all(self.sort(records))
             writer.flush()
+            if fsync:
+                out.flush()
+                os.fsync(out.fileno())
+        self.last_output_crc = writer.file_crc if track_crc else None
         return writer.written
 
     # -- internals -----------------------------------------------------------------
@@ -408,7 +470,10 @@ class FileSpillSort:
     ) -> SpilledRun:
         """Write one generated run to its own temp file, in blocks."""
         path = session.spill_path()
-        write_sequence(path, run, self.record_format, self.buffer_records)
+        write_sequence(
+            path, run, self.record_format, self.buffer_records,
+            checksum=self.checksum,
+        )
         return SpilledRun(
             session, path, len(run), self.record_format, self.buffer_records
         )

@@ -1,0 +1,10 @@
+"""Reusable test harnesses shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection layer
+(DESIGN.md §11): any test — in this repository or downstream — can
+schedule an exception, short write, bit flip or silent truncation at
+an exact block-I/O call and watch how the sorting engine fails and
+recovers.  It lives inside the package (not under ``tests/``) because
+worker processes of the parallel backend must be able to import it
+after ``spawn``.
+"""

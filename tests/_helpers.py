@@ -4,7 +4,9 @@ Not a conftest: ``benchmarks/conftest.py`` already claims that module
 name, so these live under a unique name and are imported explicitly.
 """
 
+import hashlib
 import os
+import zlib
 
 
 def files_under(root) -> list:
@@ -13,3 +15,32 @@ def files_under(root) -> list:
     for dirpath, _, filenames in os.walk(root):
         found.extend(os.path.join(dirpath, f) for f in filenames)
     return found
+
+
+#: Master seed of the stress/differential sweeps; CI pins it,
+#: developers can roam (same convention as REPRO_PROPERTY_SEED).
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+
+
+def stress_seed(*parts) -> int:
+    """Deterministic per-case seed derived from the stress master seed."""
+    text = ":".join(str(part) for part in (STRESS_SEED,) + parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def stress_case(**kwargs) -> str:
+    """One-line reproduction recipe for stress-test assertion messages."""
+    fields = ", ".join(f"{k}={v!r}" for k, v in kwargs.items())
+    return (
+        f"failing case [{fields}] — reproduce with "
+        f"REPRO_STRESS_SEED={STRESS_SEED}"
+    )
+
+
+def sha256_file(path) -> str:
+    """Hex SHA-256 of a file's bytes (byte-identity assertions)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
