@@ -1,0 +1,201 @@
+"""Operator sweep: distinct / group-by / join / top-k on the SortEngine.
+
+Runs each :mod:`repro.ops` operator over deterministic synthetic
+corpora, serial and with ``workers=2``, and records wall seconds, row
+counts and sha256 output digests in ``BENCH_ops.json`` at the repo
+root.  Every operator must produce byte-identical output across
+worker counts (asserted), and top-k is timed on both of its paths —
+the bounded-heap short-circuit and the external-sort fallback.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops.py --records 200000
+    PYTHONPATH=src python benchmarks/bench_ops.py --smoke   # CI-sized
+
+This is a standalone script, not a pytest-benchmark module: the
+quantity of interest is the relative wall-clock of whole operator
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import GeneratorSpec
+from repro.core.records import DelimitedFormat, INT
+from repro.engine.planner import SortEngine
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ops.json"
+
+
+def csv_corpus(records: int, keys: int, seed: int) -> List:
+    rng = random.Random(seed)
+    fmt = DelimitedFormat(",", 0)
+    return [
+        fmt.decode(
+            f"k{rng.randint(0, keys):05d},{rng.randint(-1000, 1000)},"
+            f"p{rng.randint(0, 9)}"
+        )
+        for _ in range(records)
+    ]
+
+
+def int_corpus(records: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, records) for _ in range(records)]
+
+
+def engine_for(memory: int, workers: int, record_format) -> SortEngine:
+    return SortEngine(
+        GeneratorSpec("lss", memory),
+        record_format=record_format,
+        workers=workers,
+    )
+
+
+def timed(label: str, make_stream, encode) -> dict:
+    """Build and drain a record stream, hashing its encoded output.
+
+    ``make_stream`` is a thunk so the clock covers operator start-up
+    too — the top-k heap path does all its work eagerly.
+    """
+    digest = hashlib.sha256()
+    count = 0
+    started = time.perf_counter()
+    for record in make_stream():
+        digest.update(f"{encode(record)}\n".encode("utf-8"))
+        count += 1
+    wall = time.perf_counter() - started
+    print(f"  {label}: wall={wall:.3f}s rows_out={count}", flush=True)
+    return {
+        "wall_seconds": round(wall, 3),
+        "rows_out": count,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def sweep_operator(name: str, runner, memory: int, record_format) -> dict:
+    """One operator, serial and workers=2; assert identical digests."""
+    print(f"{name}:", flush=True)
+    rows = {}
+    for label, workers in (("serial", 1), ("workers_2", 2)):
+        engine = engine_for(memory, workers, record_format)
+        row = runner(engine)
+        report = engine.operator_report
+        row["rows_in"] = report.rows_in
+        row["groups"] = report.groups
+        rows[label] = row
+    identical = rows["serial"]["sha256"] == rows["workers_2"]["sha256"]
+    return {"operator": name, "identical_across_workers": identical, **rows}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=200_000)
+    parser.add_argument("--memory", type=int, default=2_000)
+    parser.add_argument("--keys", type=int, default=5_000,
+                        help="distinct key values in the csv corpora")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (overrides --records)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records = min(args.records, 20_000)
+        args.keys = min(args.keys, 500)
+
+    csv_fmt = DelimitedFormat(",", 0)
+    csv_rows = csv_corpus(args.records, args.keys, args.seed)
+    right_rows = csv_corpus(args.records // 4, args.keys, args.seed + 1)
+    ints = int_corpus(args.records, args.seed + 2)
+    k = min(1_000, args.memory)
+
+    results = [
+        sweep_operator(
+            "distinct",
+            lambda e: timed(
+                f"distinct workers={e.workers}",
+                lambda: e.distinct(list(csv_rows)), csv_fmt.encode,
+            ),
+            args.memory, csv_fmt,
+        ),
+        sweep_operator(
+            "aggregate",
+            lambda e: timed(
+                f"agg workers={e.workers}",
+                lambda: e.aggregate(
+                    list(csv_rows), ("count", "sum", "min", "max", "avg"),
+                    value_column=1,
+                ),
+                str,
+            ),
+            args.memory, csv_fmt,
+        ),
+        sweep_operator(
+            "join",
+            lambda e: timed(
+                f"join workers={e.workers}",
+                lambda: e.join(
+                    list(csv_rows), list(right_rows),
+                    right_format=DelimitedFormat(",", 0),
+                ),
+                str,
+            ),
+            args.memory, csv_fmt,
+        ),
+        sweep_operator(
+            "topk",
+            lambda e: timed(
+                f"topk workers={e.workers}",
+                lambda: e.topk(list(ints), k), INT.encode,
+            ),
+            args.memory, INT,
+        ),
+    ]
+
+    # The serial top-k above took the heap path (k <= memory); time the
+    # external-sort fallback too by shrinking the budget below k.
+    print("topk sorted-path (memory < k):", flush=True)
+    small = engine_for(max(2, k // 4), 1, INT)
+    sorted_path = timed(
+        "topk sorted", lambda: small.topk(list(ints), k), INT.encode
+    )
+    heap_sha = next(r for r in results if r["operator"] == "topk")
+    sorted_path["identical_to_heap_path"] = (
+        sorted_path["sha256"] == heap_sha["serial"]["sha256"]
+    )
+
+    identical = all(r["identical_across_workers"] for r in results)
+    payload = {
+        "benchmark": "repro.ops operator sweep (serial vs workers=2)",
+        "records": args.records,
+        "memory": args.memory,
+        "keys": args.keys,
+        "seed": args.seed,
+        "k": k,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "output_identical_across_workers": identical,
+        "topk_heap_vs_sorted_identical":
+            sorted_path["identical_to_heap_path"],
+        "operators": results,
+        "topk_sorted_path": sorted_path,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not identical or not sorted_path["identical_to_heap_path"]:
+        print("ERROR: outputs differ across settings", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,17 @@ Examples::
     # same command (DESIGN.md §11)
     python -m repro.cli sort --resume --checksum in.txt -o out.txt
 
+    # relational operators on the sort engine (DESIGN.md §12):
+    # dedup, group-by aggregation, sort-merge equi-join, top-k
+    python -m repro.cli distinct --format str words.txt
+    python -m repro.cli agg --format csv --key 0 --value 1 \
+        --agg count,sum,avg events.csv
+    python -m repro.cli join --format csv --key 0 orders.csv users.csv
+    python -m repro.cli topk -k 100 --memory 10000 in.txt
+
+    # merge already-sorted files without re-sorting (like sort -m)
+    python -m repro.cli merge run1.txt run2.txt -o merged.txt
+
     # compare run generation across algorithms without sorting
     python -m repro.cli runs --memory 1000 in.txt
 
@@ -36,7 +47,9 @@ Examples::
 All sorting routes through :class:`repro.engine.SortEngine`
 (DESIGN.md §9), which plans in-memory vs spill vs partitioned-parallel
 execution and moves records in blocks through the configured
-``--format``.
+``--format``; the operator subcommands stream over the engine
+(DESIGN.md §12) and share its memory bounds, checksums and ``--resume``
+work directories.
 """
 
 from __future__ import annotations
@@ -50,14 +63,26 @@ from typing import ContextManager, List, Optional, TextIO
 
 from repro.core.config import ALGORITHMS, GeneratorSpec, RECOMMENDED, TwoWayConfig
 from repro.core.heuristics import INPUT_HEURISTICS, OUTPUT_HEURISTICS
-from repro.core.records import FORMAT_NAMES, resolve_format
-from repro.engine.block_io import DEFAULT_BLOCK_RECORDS, iter_records
+from repro.core.records import FORMAT_NAMES, STR, resolve_format
+from repro.engine.block_io import (
+    BlockWriter,
+    DEFAULT_BLOCK_RECORDS,
+    iter_records,
+)
 from repro.engine.errors import SortError
 from repro.engine.merge_reading import READING_STRATEGIES
 from repro.engine.resilience import JOURNAL_NAME
 from repro.engine.planner import AUTO_READING, SortEngine, spec_for_format
 from repro.experiments import EXPERIMENTS
 from repro.merge.merge_tree import DEFAULT_FAN_IN
+from repro.ops import (
+    AGGREGATES,
+    DISTINCT_MODES,
+    Distinct,
+    GroupByAggregate,
+    SortMergeJoin,
+    TopK,
+)
 from repro.sort.parallel import PARTITION_STRATEGIES
 from repro.sort.spill import DEFAULT_BUFFER_RECORDS
 from repro.workloads.generators import DISTRIBUTIONS, make_input
@@ -78,14 +103,15 @@ def _make_spec(args: argparse.Namespace) -> GeneratorSpec:
     )
 
 
-def _record_format(args: argparse.Namespace):
-    if args.key is not None and args.format not in ("csv", "tsv"):
+def _record_format(args: argparse.Namespace, key=None):
+    key = key if key is not None else args.key
+    if key is not None and args.format not in ("csv", "tsv"):
         # Silently ignoring --key would sort by the wrong thing.
         raise SystemExit(
             f"repro: error: --key only applies to the delimited formats "
             f"(csv, tsv), not --format {args.format}"
         )
-    return resolve_format(args.format, key=args.key if args.key else 0)
+    return resolve_format(args.format, key=key if key is not None else 0)
 
 
 def _open_input(path: Optional[str]) -> ContextManager[TextIO]:
@@ -105,21 +131,29 @@ def _open_output(path: Optional[str]) -> ContextManager[TextIO]:
     return open(path, "w", encoding="utf-8")
 
 
-def _durable_work_dir(args: argparse.Namespace) -> Optional[str]:
-    """The stable work directory of a ``--resume`` sort, or None.
+def _durable_work_dir(
+    args: argparse.Namespace,
+    inputs: Optional[tuple] = None,
+    suffix: str = ".sortwork",
+) -> Optional[str]:
+    """The stable work directory of a ``--resume`` run, or None.
 
     Derived from the output path (``out.txt`` -> ``out.txt.sortwork``)
-    unless ``--work-dir`` names one explicitly.  Resuming needs a real
-    input file (the journal skips *re-sorting*, not re-reading) and a
+    unless ``--work-dir`` names one explicitly.  Resuming needs real
+    input files (the journal skips *re-sorting*, not re-reading) and a
     stable place for the journal, so stdin/stdout pipes are rejected
-    with a clear message instead of a confusing failure later.
+    with a clear message instead of a confusing failure later.  The
+    two-input join passes its own ``inputs`` and derives
+    ``OUTPUT.joinwork``.
     """
     if args.work_dir is None and not args.resume:
         return None
-    if args.resume and args.input in (None, "-"):
+    if inputs is None:
+        inputs = (args.input,)
+    if args.resume and any(path in (None, "-") for path in inputs):
         raise SystemExit(
-            "repro: error: --resume requires a real input file (the "
-            "resumed attempt re-reads it); stdin cannot be replayed"
+            "repro: error: --resume requires real input files (the "
+            "resumed attempt re-reads them); stdin cannot be replayed"
         )
     if args.work_dir is not None:
         return args.work_dir
@@ -128,7 +162,7 @@ def _durable_work_dir(args: argparse.Namespace) -> Optional[str]:
             "repro: error: --resume needs -o/--output (the work "
             "directory is derived from it) or an explicit --work-dir"
         )
-    return args.output + ".sortwork"
+    return args.output + suffix
 
 
 def _input_fingerprint(path: Optional[str]) -> Optional[str]:
@@ -142,20 +176,60 @@ def _input_fingerprint(path: Optional[str]) -> Optional[str]:
     return f"{os.path.abspath(path)}:{stat.st_size}:{stat.st_mtime_ns}"
 
 
-def cmd_sort(args: argparse.Namespace) -> int:
-    work_dir = _durable_work_dir(args)
-    engine = SortEngine(
+def _engine_for(
+    args: argparse.Namespace,
+    record_format,
+    work_dir: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+) -> SortEngine:
+    """One configured engine from a sort-or-operator namespace.
+
+    ``merge`` namespaces carry no parallel knobs (the command cannot
+    honour them), hence the defaults.
+    """
+    return SortEngine(
         _make_spec(args),
-        record_format=_record_format(args),
-        workers=args.workers,
-        partition=args.partition,
+        record_format=record_format,
+        workers=getattr(args, "workers", 1),
+        partition=getattr(args, "partition", "hash"),
         fan_in=args.fan_in,
         buffer_records=args.merge_buffer,
         block_records=args.block_records,
         reading=args.reading,
         checksum=args.checksum,
         work_dir=work_dir,
-        input_fingerprint=_input_fingerprint(args.input) if work_dir else None,
+        input_fingerprint=fingerprint,
+    )
+
+
+def _sort_failure(command: str, exc: Exception, *work_dirs) -> int:
+    """Report a controlled failure (corrupt block, injected fault, dead
+    worker, disk error) cleanly; in durable mode the journal and
+    surviving runs are kept for ``--resume``.  The hint only prints for
+    work directories where a sort journal actually exists — a failure
+    *before* durable work started (unreadable input, a foreign
+    ``--work-dir`` the journal refused to wipe) has nothing to resume.
+    """
+    print(f"repro: {command} failed: {exc}", file=sys.stderr)
+    for work_dir in work_dirs:
+        if work_dir is not None and os.path.isfile(
+            os.path.join(work_dir, JOURNAL_NAME)
+        ):
+            print(
+                f"repro: completed work kept in {work_dir!r}; rerun "
+                f"with --resume to continue from it",
+                file=sys.stderr,
+            )
+    return 1
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    work_dir = _durable_work_dir(args)
+    engine = _engine_for(
+        args,
+        _record_format(args),
+        work_dir,
+        _input_fingerprint(args.input) if work_dir else None,
     )
     try:
         with _open_input(args.input) as handle, _open_output(args.output) as out:
@@ -165,23 +239,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
             # of the merged output) is ever materialised.
             engine.sort_stream(handle, out, resume=args.resume)
     except (SortError, OSError) as exc:
-        # A controlled failure: corrupt block, injected fault, dead
-        # worker, disk error.  Report it cleanly; in durable mode the
-        # journal and surviving runs are kept for --resume.  The hint
-        # only prints when a sort journal actually exists there — a
-        # failure *before* durable work started (unreadable input, a
-        # foreign --work-dir the journal refused to wipe) has nothing
-        # to resume.
-        print(f"repro: sort failed: {exc}", file=sys.stderr)
-        if work_dir is not None and os.path.isfile(
-            os.path.join(work_dir, JOURNAL_NAME)
-        ):
-            print(
-                f"repro: completed work kept in {work_dir!r}; rerun "
-                f"with --resume to continue from it",
-                file=sys.stderr,
-            )
-        return 1
+        return _sort_failure("sort", exc, work_dir)
     _print_sort_report(engine, args.report)
     return 0
 
@@ -244,6 +302,225 @@ def _print_sort_report(engine: SortEngine, verbose: bool) -> None:
             f"prefetched={stats.prefetches}  hits={stats.prefetch_hits}",
             file=sys.stderr,
         )
+
+
+def _engine_detail_lines(engine: Optional[SortEngine], label: str) -> None:
+    """The spill/read instrumentation lines of one engine's last sort.
+
+    In-memory sorts have no spill structure to show; ``merge_files``
+    sets no plan at all but always merges, so a missing plan prints.
+    """
+    if engine is None:
+        return
+    if engine.plan is not None and engine.plan.mode == "in_memory":
+        return
+    print(
+        f"  {label:<6} passes={engine.merge_passes}  "
+        f"peak_buffered={engine.max_resident_records} records  "
+        f"readers<={engine.max_open_readers}",
+        file=sys.stderr,
+    )
+    stats = engine.reading_stats
+    if stats is not None:
+        print(
+            f"  read   strategy={stats.strategy}  "
+            f"blocks={stats.block_reads}  "
+            f"prefetched={stats.prefetches}  hits={stats.prefetch_hits}",
+            file=sys.stderr,
+        )
+
+
+def _print_operator_report(op, engines, verbose: bool) -> None:
+    """Unified ``--report`` rendering for the operator subcommands.
+
+    ``engines`` lists ``(label, engine)`` pairs whose spill/read
+    instrumentation should print in verbose mode (empty for the
+    top-k heap path, two entries for the join).
+    """
+    report = op.report
+    if not verbose:
+        print(
+            f"{report.algorithm}: {report.rows_in} rows in, "
+            f"{report.rows_out} rows out ({report.groups} groups)",
+            file=sys.stderr,
+        )
+        return
+    print(report.summary(), file=sys.stderr)
+    plan = op.plan
+    print(f"  plan   {plan.mode}: {plan.reason}", file=sys.stderr)
+    for label, engine in engines:
+        _engine_detail_lines(engine, label)
+
+
+def _run_unary_operator(
+    args: argparse.Namespace,
+    command: str,
+    make_op,
+    output_format=None,
+) -> int:
+    """Shared body of the single-input operator subcommands.
+
+    ``make_op(engine)`` builds the operator (constructor ValueErrors
+    become usage errors); ``output_format`` overrides the writer's
+    record format for operators whose output rows are plain text.
+    """
+    record_format = _record_format(args)
+    work_dir = _durable_work_dir(args)
+    engine = _engine_for(
+        args, record_format, work_dir,
+        _input_fingerprint(args.input) if work_dir else None,
+    )
+    try:
+        op = make_op(engine)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    try:
+        with _open_input(args.input) as handle, _open_output(args.output) as out:
+            records = iter_records(
+                handle, record_format, args.block_records, skip_blank=True
+            )
+            writer = BlockWriter(
+                out, output_format or record_format, args.block_records
+            )
+            writer.write_all(op.run(records, resume=args.resume))
+            writer.flush()
+    except ValueError as exc:
+        # Data-level failure: non-numeric value under sum/avg, ragged
+        # rows, undecodable records.
+        print(f"repro: {command} failed: {exc}", file=sys.stderr)
+        return 1
+    except (SortError, OSError) as exc:
+        return _sort_failure(command, exc, work_dir)
+    engines = [] if op.plan.mode == "heap" else [("spill", engine)]
+    _print_operator_report(op, engines, args.report)
+    return 0
+
+
+def cmd_distinct(args: argparse.Namespace) -> int:
+    return _run_unary_operator(
+        args, "distinct", lambda engine: Distinct(engine, by=args.by)
+    )
+
+
+def cmd_agg(args: argparse.Namespace) -> int:
+    return _run_unary_operator(
+        args, "agg",
+        lambda engine: GroupByAggregate(
+            engine, aggregates=args.agg, value_column=args.value
+        ),
+        # Output rows are delimited text, whatever the input format.
+        output_format=STR,
+    )
+
+
+def cmd_topk(args: argparse.Namespace) -> int:
+    return _run_unary_operator(
+        args, "topk", lambda engine: TopK(engine, args.k)
+    )
+
+
+def _join_work_dirs(args: argparse.Namespace):
+    """Per-side durable work directories for a ``--resume`` join."""
+    base = _durable_work_dir(
+        args, inputs=(args.left, args.right), suffix=".joinwork"
+    )
+    if base is None:
+        return None, None
+    return os.path.join(base, "left"), os.path.join(base, "right")
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    if args.left == "-" and args.right == "-":
+        raise SystemExit(
+            "repro: error: at most one join input may be stdin ('-')"
+        )
+    left_format = _record_format(args)
+    right_format = _record_format(
+        args, key=args.right_key if args.right_key is not None else args.key
+    )
+    left_work, right_work = _join_work_dirs(args)
+    left_engine = _engine_for(
+        args, left_format, left_work,
+        _input_fingerprint(args.left) if left_work else None,
+    )
+    right_engine = _engine_for(
+        args, right_format, right_work,
+        _input_fingerprint(args.right) if right_work else None,
+    )
+    try:
+        op = SortMergeJoin(
+            left_engine, right_engine, buffer_limit=args.buffer_limit
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    try:
+        with _open_input(args.left) as left_handle, \
+                _open_input(args.right) as right_handle, \
+                _open_output(args.output) as out:
+            left_records = iter_records(
+                left_handle, left_format, args.block_records, skip_blank=True
+            )
+            right_records = iter_records(
+                right_handle, right_format, args.block_records,
+                skip_blank=True,
+            )
+            writer = BlockWriter(out, STR, args.block_records)
+            writer.write_all(
+                op.run(left_records, right_records, resume=args.resume)
+            )
+            writer.flush()
+    except ValueError as exc:
+        # Data-level failure: undecodable rows, missing key columns.
+        print(f"repro: join failed: {exc}", file=sys.stderr)
+        return 1
+    except (SortError, OSError) as exc:
+        return _sort_failure("join", exc, left_work, right_work)
+    # A fully successful durable join leaves two empty side dirs under
+    # the base; tidy the base away (rmdir refuses non-empty).
+    if left_work is not None:
+        base = os.path.dirname(left_work)
+        try:
+            os.rmdir(base)
+        except OSError:
+            pass
+    _print_operator_report(
+        op, [("left", left_engine), ("right", right_engine)], args.report
+    )
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Merge already-sorted files without re-sorting (like ``sort -m``)."""
+    record_format = _record_format(args)
+    engine = _engine_for(args, record_format)
+    try:
+        with _open_output(args.output) as out:
+            writer = BlockWriter(out, record_format, args.block_records)
+            if args.inputs:
+                writer.write_all(engine.merge_files(args.inputs))
+            writer.flush()
+    except ValueError as exc:
+        # Data-level failure: undecodable records in an input file.
+        print(f"repro: merge failed: {exc}", file=sys.stderr)
+        return 1
+    except (SortError, OSError) as exc:
+        return _sort_failure("merge", exc)
+    report = engine.report
+    if report is None:
+        # Zero input files: nothing merged, empty output, exit 0 —
+        # the same contract as `sort` over empty input.
+        print("MERGE[0]: 0 records from 0 files", file=sys.stderr)
+        return 0
+    if not args.report:
+        print(
+            f"{report.algorithm}: {report.records} records from "
+            f"{len(args.inputs)} files",
+            file=sys.stderr,
+        )
+        return 0
+    print(report.summary(), file=sys.stderr)
+    _engine_detail_lines(engine, "spill")
+    return 0
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
@@ -323,6 +600,34 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _key_columns(text: str):
+    """``--key`` value: one column (``2``) or several (``0,2``)."""
+    try:
+        columns = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a column number or comma-separated column "
+            f"numbers (e.g. '2' or '0,2'), got {text!r}"
+        ) from None
+    if any(column < 0 for column in columns):
+        raise argparse.ArgumentTypeError(
+            f"key columns must be >= 0, got {text!r}"
+        )
+    return columns[0] if len(columns) == 1 else columns
+
+
+def _aggregate_list(text: str):
+    """``--agg`` value: comma-separated aggregate names."""
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [name for name in names if name not in AGGREGATES]
+    if not names or unknown:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated aggregates from "
+            f"{', '.join(AGGREGATES)}, got {text!r}"
+        )
+    return names
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -348,59 +653,158 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--format", choices=FORMAT_NAMES, default="int",
                        help="record type: one int/float/str per line, or "
                             "csv/tsv rows sorted by --key (default int)")
-        p.add_argument("--key", type=_non_negative_int, default=None,
-                       help="0-based key column, only valid with --format "
-                            "csv/tsv (default 0); e.g. --format csv --key 2 "
-                            "sorts rows by their third field")
+        p.add_argument("--key", type=_key_columns, default=None,
+                       help="0-based key column (or comma-separated "
+                            "columns, compared left to right), only valid "
+                            "with --format csv/tsv (default 0); e.g. "
+                            "--format csv --key 2 sorts rows by their "
+                            "third field")
         p.add_argument("--report", action="store_true",
                        help="print phase timings (SortReport) to stderr")
 
+    def add_engine_options(
+        p: argparse.ArgumentParser,
+        durable: bool = True,
+        parallel: bool = True,
+    ) -> None:
+        """Execution knobs shared by sort and the operator subcommands.
+
+        ``merge`` opts out of the knobs it cannot honour: it never
+        partitions (``parallel=False``) and never journals
+        (``durable=False``) — accepting those flags and silently
+        ignoring them would mislead.
+        """
+        p.add_argument("--merge-buffer", type=_positive_int,
+                       default=DEFAULT_BUFFER_RECORDS,
+                       help="records buffered per run reader during the "
+                            f"merge (default {DEFAULT_BUFFER_RECORDS})")
+        p.add_argument("--block-records", type=_positive_int,
+                       default=DEFAULT_BLOCK_RECORDS,
+                       help="records encoded/decoded per block on the "
+                            "input and output streams "
+                            f"(default {DEFAULT_BLOCK_RECORDS})")
+        p.add_argument("--reading",
+                       choices=(AUTO_READING,) + READING_STRATEGIES,
+                       default=AUTO_READING,
+                       help="final-merge reading strategy over the run "
+                            "files; 'auto' lets the planner choose "
+                            "(default auto)")
+        if parallel:
+            p.add_argument("--workers", type=_positive_int, default=1,
+                           help="partition the input and sort the shards "
+                                "in this many worker processes; they "
+                                "share the --memory budget through the "
+                                "memory broker (default 1 = serial)")
+            p.add_argument("--partition", choices=PARTITION_STRATEGIES,
+                           default="hash",
+                           help="how records map to workers: 'hash' "
+                                "balances any distribution, 'range' gives "
+                                "each worker a disjoint key band from "
+                                "sampled cut points (default hash)")
+        p.add_argument("--checksum", action="store_true",
+                       help="write per-block CRC-32 headers into every "
+                            "spill/shard file and verify them during the "
+                            "merge; corruption fails loudly with file + "
+                            "offset (DESIGN.md §11)")
+        if not durable:
+            return
+        p.add_argument("--resume", action="store_true",
+                       help="run durably under a stable work directory "
+                            "(journaled runs, shard completion markers) "
+                            "and resume any compatible previous attempt "
+                            "found there; output is byte-identical to an "
+                            "uninterrupted run")
+        p.add_argument("--work-dir", default=None,
+                       help="stable directory for the durable sort "
+                            "journal and spill files (default: derived "
+                            "from the output path as OUTPUT.sortwork)")
+
+    def add_io_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", nargs="?", help="input file ('-' = stdin)")
+        p.add_argument("-o", "--output",
+                       help="output file (default stdout)")
+
     p_sort = sub.add_parser("sort", help="externally sort typed records")
     add_generator_options(p_sort)
-    p_sort.add_argument("--merge-buffer", type=_positive_int,
-                        default=DEFAULT_BUFFER_RECORDS,
-                        help="records buffered per run reader during the "
-                             f"merge (default {DEFAULT_BUFFER_RECORDS})")
-    p_sort.add_argument("--block-records", type=_positive_int,
-                        default=DEFAULT_BLOCK_RECORDS,
-                        help="records encoded/decoded per block on the "
-                             "input and output streams "
-                             f"(default {DEFAULT_BLOCK_RECORDS})")
-    p_sort.add_argument("--reading",
-                        choices=(AUTO_READING,) + READING_STRATEGIES,
-                        default=AUTO_READING,
-                        help="final-merge reading strategy over the run "
-                             "files; 'auto' lets the planner choose "
-                             "(default auto)")
-    p_sort.add_argument("--workers", type=_positive_int, default=1,
-                        help="partition the input and sort the shards in "
-                             "this many worker processes; they share the "
-                             "--memory budget through the memory broker "
-                             "(default 1 = serial)")
-    p_sort.add_argument("--partition", choices=PARTITION_STRATEGIES,
-                        default="hash",
-                        help="how records map to workers: 'hash' balances "
-                             "any distribution, 'range' gives each worker "
-                             "a disjoint key band from sampled cut points "
-                             "(default hash)")
-    p_sort.add_argument("--checksum", action="store_true",
-                        help="write per-block CRC-32 headers into every "
-                             "spill/shard file and verify them during the "
-                             "merge; corruption fails loudly with file + "
-                             "offset (DESIGN.md §11)")
-    p_sort.add_argument("--resume", action="store_true",
-                        help="sort durably under a stable work directory "
-                             "(journaled runs, shard completion markers) "
-                             "and resume any compatible previous attempt "
-                             "found there; output is byte-identical to an "
-                             "uninterrupted sort")
-    p_sort.add_argument("--work-dir", default=None,
-                        help="stable directory for the durable sort "
-                             "journal and spill files (default: derived "
-                             "from the output path as OUTPUT.sortwork)")
-    p_sort.add_argument("input", nargs="?", help="input file ('-' = stdin)")
-    p_sort.add_argument("-o", "--output", help="output file (default stdout)")
+    add_engine_options(p_sort)
+    add_io_arguments(p_sort)
     p_sort.set_defaults(func=cmd_sort)
+
+    p_distinct = sub.add_parser(
+        "distinct",
+        help="drop duplicate records via an external sort (like sort -u)",
+    )
+    add_generator_options(p_distinct)
+    add_engine_options(p_distinct)
+    p_distinct.add_argument(
+        "--by", choices=DISTINCT_MODES, default="record",
+        help="what counts as a duplicate: the whole record, or just its "
+             "sort key (first record per key wins; default record)")
+    add_io_arguments(p_distinct)
+    p_distinct.set_defaults(func=cmd_distinct)
+
+    p_agg = sub.add_parser(
+        "agg",
+        help="group records by key and aggregate a value column",
+    )
+    add_generator_options(p_agg)
+    add_engine_options(p_agg)
+    p_agg.add_argument(
+        "--agg", type=_aggregate_list, default=("count",),
+        help="comma-separated aggregates per key group: "
+             f"{', '.join(AGGREGATES)} (default count)")
+    p_agg.add_argument(
+        "--value", type=_non_negative_int, default=None,
+        help="0-based column holding the aggregated value (required for "
+             "sum/min/max/avg over delimited rows)")
+    add_io_arguments(p_agg)
+    p_agg.set_defaults(func=cmd_agg)
+
+    p_join = sub.add_parser(
+        "join",
+        help="sort-merge equi-join of two inputs on their key columns",
+    )
+    add_generator_options(p_join)
+    add_engine_options(p_join)
+    p_join.add_argument(
+        "--right-key", type=_key_columns, default=None,
+        help="0-based key column(s) of the RIGHT input when they differ "
+             "from --key")
+    p_join.add_argument(
+        "--buffer-limit", type=_positive_int, default=None,
+        help="right-side records buffered per key group before the skew "
+             "fallback spills to disk (default: the --memory budget)")
+    p_join.add_argument("left", help="left input file ('-' = stdin)")
+    p_join.add_argument("right", help="right input file ('-' = stdin)")
+    p_join.add_argument("-o", "--output",
+                        help="output file (default stdout)")
+    p_join.set_defaults(func=cmd_join)
+
+    p_topk = sub.add_parser(
+        "topk",
+        help="the k smallest records, ascending (like sort | head -k)",
+    )
+    add_generator_options(p_topk)
+    add_engine_options(p_topk)
+    p_topk.add_argument(
+        "-k", type=_non_negative_int, required=True,
+        help="how many records to keep; k <= --memory short-circuits to "
+             "a bounded heap scan with no sort at all")
+    add_io_arguments(p_topk)
+    p_topk.set_defaults(func=cmd_topk)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge already-sorted files without re-sorting (like sort -m)",
+    )
+    add_generator_options(p_merge)
+    add_engine_options(p_merge, durable=False, parallel=False)
+    p_merge.add_argument("inputs", nargs="*",
+                         help="pre-sorted input files (empty = empty "
+                              "output, exit 0)")
+    p_merge.add_argument("-o", "--output",
+                         help="output file (default stdout)")
+    p_merge.set_defaults(func=cmd_merge)
 
     p_runs = sub.add_parser("runs", help="compare run generation across algorithms")
     add_generator_options(p_runs)

@@ -85,6 +85,41 @@ class RecordFormat:
         """The sort key of ``record`` (identity unless overridden)."""
         return record
 
+    # -- field projection (repro.ops) -----------------------------------------
+
+    #: Number of components in :meth:`key`'s result (1 for scalar keys,
+    #: ``len(key_columns)`` for multi-column delimited keys).  The
+    #: sort-merge join refuses to compare keys of different arity.
+    key_arity: int = 1
+
+    def fields(self, record: Any) -> List[str]:
+        """``record`` as a list of field texts (one field for scalars).
+
+        The relational operators (:mod:`repro.ops`) build their output
+        rows from field projections; scalar formats expose exactly one
+        field — the encoded record itself.
+        """
+        return [self.encode(record)]
+
+    def project(self, record: Any, columns: Sequence[int]) -> List[str]:
+        """The field texts of ``record`` at ``columns`` (0-based).
+
+        Raises a clear :class:`ValueError` naming the record when any
+        requested column does not exist — the group-by value column and
+        join key projections hit this on ragged rows.
+        """
+        fields = self.fields(record)
+        # Negative indexes are rejected too: Python's from-the-end
+        # semantics would silently project the wrong column.
+        missing = [c for c in columns if c < 0 or c >= len(fields)]
+        if missing:
+            raise ValueError(
+                f"record has {len(fields)} column(s), column(s) "
+                f"{', '.join(map(str, missing))} do not exist: "
+                f"{self.encode(record)!r}"
+            )
+        return [fields[c] for c in columns]
+
     # -- whole blocks ---------------------------------------------------------
 
     def decode_block(self, lines: Sequence[str]) -> List[Any]:
@@ -221,18 +256,19 @@ def _parse_key(text: str) -> Any:
 
 
 class DelimitedFormat(RecordFormat):
-    """Delimited rows sorted by one column (``--format csv --key N``).
+    """Delimited rows sorted by one or more columns (``--key N[,M...]``).
 
     A decoded record is the tuple ``(key, line)`` — tuple comparison
-    orders by the key column first and breaks ties on the full row
-    text, so the sort is total and deterministic for any input.  The
-    key itself is a ``(type_rank, value)`` pair from :func:`_parse_key`
-    (numeric fields sort before text fields), and the encoded form is
-    the original row, byte-for-byte.
+    orders by the key column(s) first and breaks ties on the full row
+    text, so the sort is total and deterministic for any input.  A
+    single-column key is a ``(type_rank, value)`` pair from
+    :func:`_parse_key` (numeric fields sort before text fields); a
+    multi-column key is a tuple of such pairs, compared column by
+    column.  The encoded form is the original row, byte-for-byte.
 
     Blank and whitespace-only input lines are treated as skippable
     separators (``blank_input_skippable``): they are never data rows,
-    and a row genuinely missing the key column still raises a clear
+    and a row genuinely missing a key column still raises a clear
     :class:`ValueError`.
     """
 
@@ -240,35 +276,59 @@ class DelimitedFormat(RecordFormat):
     numeric = False  # records are tuples; no arithmetic on them
     blank_input_skippable = True
 
-    def __init__(self, delimiter: str = ",", key_column: int = 0) -> None:
+    def __init__(self, delimiter: str = ",", key_column=0) -> None:
         if len(delimiter) != 1 or delimiter == "\n":
             raise ValueError(
                 f"delimiter must be a single non-newline character, "
                 f"got {delimiter!r}"
             )
-        if key_column < 0:
-            raise ValueError(f"key_column must be >= 0, got {key_column}")
+        if isinstance(key_column, int):
+            columns = (key_column,)
+        else:
+            columns = tuple(key_column)
+            if not columns:
+                raise ValueError("at least one key column is required")
+        for column in columns:
+            if not isinstance(column, int) or column < 0:
+                raise ValueError(
+                    f"key columns must be non-negative integers, "
+                    f"got {column!r}"
+                )
         self.delimiter = delimiter
-        self.key_column = key_column
-        self.name = f"csv[{key_column}]" if delimiter == "," else (
-            f"tsv[{key_column}]" if delimiter == "\t"
-            else f"delimited[{delimiter!r}:{key_column}]"
+        #: All key columns, in comparison order.
+        self.key_columns = columns
+        #: The first key column (historical single-column attribute).
+        self.key_column = columns[0]
+        self.key_arity = len(columns)
+        spec = ",".join(map(str, columns))
+        self.name = f"csv[{spec}]" if delimiter == "," else (
+            f"tsv[{spec}]" if delimiter == "\t"
+            else f"delimited[{delimiter!r}:{spec}]"
         )
+
+    def _key_of_fields(self, fields: Sequence[str], text: str) -> Any:
+        last = max(self.key_columns)
+        if last >= len(fields):
+            raise ValueError(
+                f"row has {len(fields)} column(s), key column "
+                f"{last} does not exist: {text!r}"
+            )
+        if len(self.key_columns) == 1:
+            return _parse_key(fields[self.key_columns[0]])
+        return tuple(_parse_key(fields[c]) for c in self.key_columns)
 
     def decode(self, text: str) -> Any:
         fields = text.split(self.delimiter)
-        if self.key_column >= len(fields):
-            raise ValueError(
-                f"row has {len(fields)} column(s), key column "
-                f"{self.key_column} does not exist: {text!r}"
-            )
-        return (_parse_key(fields[self.key_column]), text)
+        return (self._key_of_fields(fields, text), text)
 
     def encode(self, record: Any) -> str:
         return record[1]
 
     def key(self, record: Any) -> Any:
         return record[0]
+
+    def fields(self, record: Any) -> List[str]:
+        return record[1].split(self.delimiter)
 
     def decode_block(self, lines: Sequence[str]) -> List[Any]:
         decode = self.decode
@@ -282,7 +342,7 @@ class DelimitedFormat(RecordFormat):
     def __reduce__(self):
         # The name attribute is derived; reconstruct from the inputs so
         # instances stay picklable for spawn workers.
-        return (DelimitedFormat, (self.delimiter, self.key_column))
+        return (DelimitedFormat, (self.delimiter, self.key_columns))
 
 
 class CallableFormat(RecordFormat):
@@ -325,13 +385,12 @@ STR = StrFormat()
 FORMAT_NAMES = ("int", "float", "str", "csv", "tsv")
 
 
-def resolve_format(
-    name: str, key: int = 0, delimiter: str = None
-) -> RecordFormat:
+def resolve_format(name: str, key=0, delimiter: str = None) -> RecordFormat:
     """Build the :class:`RecordFormat` a CLI spec names.
 
-    ``key`` (and ``delimiter``, for exotic separators) only apply to
-    the delimited formats; ``csv`` and ``tsv`` fix the separator.
+    ``key`` — an int or a sequence of ints for multi-column keys — and
+    ``delimiter`` (for exotic separators) only apply to the delimited
+    formats; ``csv`` and ``tsv`` fix the separator.
     """
     if name == "int":
         return INT

@@ -23,7 +23,7 @@ from repro.engine.merge_reading import READING_STRATEGIES, open_reading
 #: Names resolved lazily: the planner imports the sort backends, which
 #: themselves import repro.engine.block_io — an eager import here would
 #: cycle during ``repro.sort`` initialisation.
-_LAZY = ("SortEngine", "SortPlan", "plan_sort")
+_LAZY = ("SortEngine", "SortPlan", "plan_sort", "OperatorPlan", "plan_operator")
 
 
 def __getattr__(name):
@@ -47,4 +47,6 @@ __all__ = [
     "SortEngine",
     "SortPlan",
     "plan_sort",
+    "OperatorPlan",
+    "plan_operator",
 ]

@@ -163,6 +163,7 @@ def read_blocks(
     fmt: RecordFormat,
     block_records: int = DEFAULT_BLOCK_RECORDS,
     checksum: bool = False,
+    skip_blank: bool = False,
 ) -> Iterator[List[Any]]:
     """Yield decoded blocks of exactly ``block_records`` records (last
     block may be short).
@@ -171,12 +172,18 @@ def read_blocks(
     buffering instrumentation and tests see stable block sizes
     regardless of record byte lengths.
 
+    ``skip_blank=True`` drops whitespace-only lines before decoding —
+    the CLI's historical blank-line tolerance for caller-provided
+    files (``repro merge`` inputs); the caller is responsible for only
+    requesting it when ``fmt.blank_input_skippable`` holds.
+
     With ``checksum=True`` the file must carry per-block headers
     (written by a checksumming :class:`BlockWriter`); every block is
     verified against its header and a corrupt, torn or truncated block
     raises :class:`~repro.engine.errors.CorruptBlockError` with the
     file, block index and byte offset.  Checksummed blocks come back
-    in their *written* sizes — the headers are authoritative.
+    in their *written* sizes — the headers are authoritative, and
+    blank tolerance never applies (such files are machine-written).
     """
     validate_block_records(block_records)
     if checksum:
@@ -186,6 +193,10 @@ def read_blocks(
         lines = list(islice(handle, block_records))
         if not lines:
             return
+        if skip_blank:
+            lines = [line for line in lines if line.strip()]
+            if not lines:
+                continue
         yield fmt.decode_block(lines)
 
 
@@ -216,17 +227,11 @@ def iter_records(
         for block in _read_checksummed_blocks(handle, fmt):
             yield from block
         return
-    if skip_blank and fmt.blank_input_skippable:
-        while True:
-            raw = list(islice(handle, block_records))
-            if not raw:
-                return
-            lines = [line for line in raw if line.strip()]
-            if lines:
-                yield from fmt.decode_block(lines)
-    else:
-        for block in read_blocks(handle, fmt, block_records):
-            yield from block
+    for block in read_blocks(
+        handle, fmt, block_records,
+        skip_blank=skip_blank and fmt.blank_input_skippable,
+    ):
+        yield from block
 
 
 class BlockWriter:

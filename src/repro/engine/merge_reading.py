@@ -102,8 +102,8 @@ class _RunSource:
     the consumer thread.
     """
 
-    __slots__ = ("run", "fmt", "block_records", "checksum", "handle",
-                 "finished", "delivered", "_blocks")
+    __slots__ = ("run", "fmt", "block_records", "checksum", "skip_blank",
+                 "handle", "finished", "delivered", "_blocks")
 
     def __init__(self, run: Any, fmt: RecordFormat, block_records: int) -> None:
         self.run = run
@@ -112,6 +112,8 @@ class _RunSource:
         #: Runs written under a checksumming session verify themselves
         #: block-by-block as the merge reads them (DESIGN.md §11).
         self.checksum = bool(getattr(run, "checksum", False))
+        #: Caller-provided merge inputs tolerate blank separator lines.
+        self.skip_blank = bool(getattr(run, "skip_blank", False))
         self.handle = None
         self.finished = False
         self.delivered = 0
@@ -124,7 +126,7 @@ class _RunSource:
             self.handle = open_text(self.run.path)
             self._blocks = read_blocks(
                 self.handle, self.fmt, self.block_records,
-                checksum=self.checksum,
+                checksum=self.checksum, skip_blank=self.skip_blank,
             )
         block = next(self._blocks, None)
         if block is None:

@@ -490,6 +490,7 @@ class ResumableSpillSort:
         self.runs_reused = 0
         self.merges_reused = 0
         completed = False
+        report = None
         try:
             counter = MergeCounter()
             started = time.perf_counter()
@@ -528,9 +529,11 @@ class ResumableSpillSort:
                 cpu_time=counter.cpu_ops * self.cpu_op_time,
                 wall_time=time.perf_counter() - started,
             )
-            self.report = report
             completed = True
         finally:
+            # Run-phase stats survive an abandoned or faulted merge.
+            if report is not None:
+                self.report = report
             journal.close()
             self.reading_stats = session.reading_stats
             self.merge_passes = session.merge_passes

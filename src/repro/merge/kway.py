@@ -8,6 +8,7 @@ exactly as in the paper's worked example (Figures 2.1-2.3).
 
 from __future__ import annotations
 
+from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.heaps.binary_heap import BinaryHeap
@@ -113,6 +114,26 @@ def kway_merge(
             close = getattr(iterator, "close", None)
             if close is not None:
                 close()
+
+
+def grouped(
+    records: Iterable[Any], key_of: Callable[[Any], Any]
+) -> Iterator[Tuple[Any, Iterator[Any]]]:
+    """Lazily group an *ascending* record stream by key.
+
+    The duplicate-run-aware half of the aggregating merge: individual
+    runs are internally sorted but any key can recur in *every* run,
+    and :func:`kway_merge` interleaves them so all duplicates of a key
+    become adjacent — this exposes that adjacency as ``(key, group)``
+    pairs where ``group`` is a lazy iterator over the consecutive
+    records sharing ``key``.  No group is ever materialised, which is
+    what lets the :mod:`repro.ops` operators fold arbitrarily large
+    (skewed) groups in O(1) memory while the final merge pass streams.
+    Like :func:`itertools.groupby` (which this wraps), advancing to
+    the next pair invalidates the previous group iterator, and an
+    unconsumed group is skipped automatically.
+    """
+    return iter(groupby(records, key=key_of))
 
 
 def reduce_to_fan_in(

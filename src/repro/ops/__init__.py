@@ -1,0 +1,39 @@
+"""Streaming sort-based relational operators (DESIGN.md §12).
+
+External sort is the workhorse primitive under real database
+operators; this package builds four of them directly on the
+:class:`~repro.engine.planner.SortEngine` instead of re-implementing
+spilling:
+
+* :class:`Distinct` — external dedup over any record format's key;
+* :class:`GroupByAggregate` — count/sum/min/max/avg per key group,
+  folded into the final merge pass so groups never materialise;
+* :class:`SortMergeJoin` — two-input equi-join with bounded per-key
+  buffering and a loud spill-to-disk fallback for skewed keys;
+* :class:`TopK` — the k smallest records, short-circuited to a
+  bounded heap when ``k`` fits the memory budget.
+
+Every operator streams: peak memory stays within the engine's
+``memory + fan_in * buffer_records`` sort bound plus O(1) operator
+state (the join adds its own bounded, spill-backed group buffer).
+The :class:`SortEngine` exposes one facade per operator
+(``engine.distinct(...)``, ``.aggregate(...)``, ``.join(...)``,
+``.topk(...)``); the CLI adds ``distinct`` / ``agg`` / ``join`` /
+``topk`` subcommands.
+"""
+
+from repro.ops.aggregate import AGGREGATES, GroupByAggregate
+from repro.ops.base import OperatorReport
+from repro.ops.distinct import DISTINCT_MODES, Distinct
+from repro.ops.join import SortMergeJoin
+from repro.ops.topk import TopK
+
+__all__ = [
+    "AGGREGATES",
+    "DISTINCT_MODES",
+    "Distinct",
+    "GroupByAggregate",
+    "OperatorReport",
+    "SortMergeJoin",
+    "TopK",
+]

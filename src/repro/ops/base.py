@@ -1,0 +1,146 @@
+"""Shared operator plumbing: the report type and stream accounting.
+
+Every operator in :mod:`repro.ops` streams its input through a
+:class:`~repro.engine.planner.SortEngine` and folds the engine's
+*final merge pass* directly, so the operator adds O(1) state on top of
+the sort's own ``memory + fan_in * buffer_records`` bound.  Once an
+operator's output stream is fully consumed, its ``report`` attribute
+holds an :class:`OperatorReport` — the engine's
+:class:`~repro.sort.external.SortReport` extended with relational
+row accounting (rows in/out, groups, join matches, skew spills).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.sort.external import SortReport
+
+__all__ = [
+    "OperatorReport",
+    "CountingIterator",
+    "report_from_sort",
+    "close_stream",
+]
+
+
+@dataclass(slots=True)
+class OperatorReport(SortReport):
+    """A :class:`SortReport` plus relational operator accounting.
+
+    ``rows_in`` counts records consumed across *all* inputs (both join
+    sides), ``rows_out`` the records the operator emitted, ``groups``
+    the distinct keys it saw (dedup groups, aggregate groups, matched
+    join keys), ``matches`` the joined pairs, and ``skew_spills`` how
+    many skewed join key groups overflowed their buffer to disk.
+    """
+
+    operator: str = ""
+    rows_in: int = 0
+    rows_out: int = 0
+    groups: int = 0
+    matches: int = 0
+    skew_spills: int = 0
+
+    def summary(self) -> str:
+        # Explicit base call: dataclass(slots=True) rebuilds the class,
+        # which breaks the zero-argument super() closure on 3.10/3.11.
+        lines = [SortReport.summary(self)]
+        parts = [
+            f"rows_in={self.rows_in}",
+            f"rows_out={self.rows_out}",
+            f"groups={self.groups}",
+        ]
+        if self.operator == "join":
+            parts.append(f"matches={self.matches}")
+            parts.append(f"skew_spills={self.skew_spills}")
+        lines.append(f"  ops    " + "  ".join(parts))
+        return "\n".join(lines)
+
+
+class CountingIterator:
+    """Pass-through iterator that counts the records it delivers."""
+
+    __slots__ = ("_iterator", "count")
+
+    def __init__(self, records: Iterable[Any]) -> None:
+        self._iterator = iter(records)
+        self.count = 0
+
+    def __iter__(self) -> Iterator[Any]:
+        return self
+
+    def __next__(self) -> Any:
+        record = next(self._iterator)
+        self.count += 1
+        return record
+
+
+def report_from_sort(
+    operator: str,
+    sort_report: Optional[SortReport],
+    *,
+    rows_in: int,
+    rows_out: int,
+    groups: int = 0,
+    matches: int = 0,
+    skew_spills: int = 0,
+) -> OperatorReport:
+    """Extend the engine's sort report with operator row accounting.
+
+    ``sort_report`` may be None when the operator never ran a sort at
+    all (top-k closed before pulling a record, empty input edge
+    cases); the report then carries only the row counts.
+    """
+    base = sort_report or SortReport(algorithm="-", records=rows_in)
+    return OperatorReport(
+        algorithm=f"{operator}({base.algorithm})",
+        records=base.records,
+        runs=base.runs,
+        run_lengths=list(base.run_lengths),
+        run_phase=base.run_phase,
+        merge_phase=base.merge_phase,
+        operator=operator,
+        rows_in=rows_in,
+        rows_out=rows_out,
+        groups=groups,
+        matches=matches,
+        skew_spills=skew_spills,
+    )
+
+
+def executed_plan(initial_plan, engine: Any):
+    """Replace a pre-sort :class:`OperatorPlan` with the executed one.
+
+    ``plan_operator`` decides before the input size is known; the
+    engine's own probe may then pick in-memory execution for a small
+    input.  Once ``engine.sort()`` has run (it plans eagerly, before
+    its stream is consumed), ``engine.plan`` is the decision that was
+    *executed* — reports must show that one, not the advisory guess.
+    The heap short-circuit never sorts, so it keeps its initial plan.
+    """
+    from repro.engine.planner import OperatorPlan
+
+    sort_plan = engine.plan
+    if initial_plan.mode == "heap" or sort_plan is None:
+        return initial_plan
+    return OperatorPlan(
+        operator=initial_plan.operator,
+        mode="in_memory" if sort_plan.mode == "in_memory" else "sort",
+        k=initial_plan.k,
+        sort_plan=sort_plan,
+        reason=sort_plan.reason,
+    )
+
+
+def close_stream(stream: Any) -> None:
+    """Close a (possibly plain) record iterator.
+
+    Spilling engine sorts are generators whose ``finally`` blocks
+    release temp files and publish reports; in-memory sorts hand back
+    plain list iterators with nothing to close.
+    """
+    close = getattr(stream, "close", None)
+    if close is not None:
+        close()

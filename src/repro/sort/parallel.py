@@ -513,11 +513,12 @@ class PartitionedSort:
                     counter.cpu_ops * self.cpu_op_time
                 )
                 report.merge_phase.wall_time = merge_wall
-                self.report = report
                 completed = True
             finally:
-                # Mirror FileSpillSort: instrumentation reflects the
-                # merge even when the stream is abandoned mid-way.
+                # Mirror FileSpillSort: instrumentation and the report
+                # (run-phase stats at least) reflect the sort even when
+                # the stream is abandoned mid-merge.
+                self.report = report
                 self.merge_passes = session.merge_passes
                 self.reading_stats = session.reading_stats
                 self.max_resident_records = session.max_resident_records

@@ -149,6 +149,8 @@ class SpilledRun:
         record_format: RecordFormat = INT,
         buffer_records: int = DEFAULT_BUFFER_RECORDS,
         keep: bool = False,
+        checksum: Optional[bool] = None,
+        skip_blank: bool = False,
     ) -> None:
         self._session = session
         self.path = path
@@ -159,10 +161,20 @@ class SpilledRun:
         #: (:meth:`SortEngine.merge_files` inputs) and for journaled
         #: durable runs, which only their resilience layer may delete.
         self.keep = keep
+        #: Per-run override of the session's checksum mode: caller-
+        #: provided merge inputs are plain files even when the session
+        #: checksums its own intermediate spills.
+        self._checksum = checksum
+        #: Tolerate blank separator lines (caller-provided merge
+        #: inputs, same contract as the CLI's input streams).  Spill
+        #: files the sort writes itself never need it.
+        self.skip_blank = skip_blank
 
     @property
     def checksum(self) -> bool:
         """Whether this run's file carries per-block checksum headers."""
+        if self._checksum is not None:
+            return self._checksum
         return self._session.checksum
 
     def records(self) -> Iterator[Any]:
@@ -180,7 +192,7 @@ class SpilledRun:
             with open_text(self.path) as handle:
                 for chunk in read_blocks(
                     handle, self.record_format, self.buffer_records,
-                    checksum=self.checksum,
+                    checksum=self.checksum, skip_blank=self.skip_blank,
                 ):
                     delivered += len(chunk)
                     session.buffer_grew(len(chunk))
@@ -382,6 +394,7 @@ class FileSpillSort:
             tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir),
             checksum=self.checksum,
         )
+        report = None
         try:
             counter = MergeCounter()
             started = time.perf_counter()
@@ -425,8 +438,12 @@ class FileSpillSort:
                 cpu_time=counter.cpu_ops * self.cpu_op_time,
                 wall_time=merge_wall,
             )
-            self.report = report
         finally:
+            # Published even when the consumer abandons (or a fault
+            # kills) the merge stream: a truncating caller like top-k
+            # still sees the run-phase stats, with merge_phase zeroed.
+            if report is not None:
+                self.report = report
             self.reading_stats = session.reading_stats
             self.merge_passes = session.merge_passes
             self.max_resident_records = session.max_resident_records

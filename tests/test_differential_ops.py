@@ -1,0 +1,236 @@
+"""Differential testing of the operator CLI against coreutils oracles.
+
+* ``distinct`` vs ``LC_ALL=C sort -u`` (str) and ``sort -n -u`` (int,
+  canonical encodings so equal keys are byte-identical lines);
+* ``join`` vs ``LC_ALL=C join -t,`` over inputs pre-sorted with
+  ``LC_ALL=C sort`` — keys are alphanumeric-only so byte order, GNU
+  field order and our type-ranked text order all agree;
+* ``topk`` vs ``sort | head -k``;
+* every operator also against trivial Python ``sorted()``/dict
+  oracles, so the suite still verifies semantics when coreutils is
+  absent (the GNU comparisons skip, same pattern as
+  ``tests/test_differential.py``).
+"""
+
+import os
+import random
+import shutil
+import subprocess
+
+import pytest
+
+from _helpers import stress_case, stress_seed
+from repro.cli import main
+
+GNU_SORT = shutil.which("sort")
+GNU_JOIN = shutil.which("join")
+
+C_ENV = {**os.environ, "LC_ALL": "C"}
+
+
+def run_cli(argv):
+    assert main(argv) == 0, f"CLI failed: {argv}"
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines))
+    return path
+
+
+def int_lines(n, *seed_parts):
+    rng = random.Random(stress_seed("ops-int", n, *seed_parts))
+    # Canonical encodings (no +, no leading zeros): equal keys are
+    # byte-identical lines, so sort -n -u agrees with record dedup.
+    return [str(rng.randint(-500, 500)) for _ in range(n)]
+
+
+def str_lines(n, *seed_parts):
+    rng = random.Random(stress_seed("ops-str", n, *seed_parts))
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789_-."
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 12)))
+        for _ in range(n)
+    ]
+
+
+def join_lines(n, side, *seed_parts):
+    """csv rows with alphabetic-only keys (GNU join compares bytes)."""
+    rng = random.Random(stress_seed("ops-join", n, side, *seed_parts))
+    keys = ["k" + "".join(rng.choice("abcdef") for _ in range(2))
+            for _ in range(30)]
+    return [
+        f"{rng.choice(keys)},{side}{rng.randint(0, 99)},t{rng.randint(0, 9)}"
+        for _ in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# distinct vs sort -u
+# ---------------------------------------------------------------------------
+
+
+class TestDistinctDifferential:
+    @pytest.mark.parametrize("memory", [16, 4_096])
+    def test_python_oracle_int(self, tmp_path, memory):
+        lines = int_lines(1_500, memory)
+        source = write_lines(tmp_path / "in.txt", lines)
+        out = tmp_path / "out.txt"
+        run_cli(["distinct", "--memory", str(memory), str(source),
+                 "-o", str(out)])
+        want = [str(v) for v in sorted({int(line) for line in lines})]
+        assert out.read_text().splitlines() == want, stress_case(
+            op="distinct", fmt="int", memory=memory
+        )
+
+    @pytest.mark.skipif(GNU_SORT is None, reason="GNU sort not installed")
+    @pytest.mark.parametrize("fmt,flags", [("int", ["-n"]), ("str", [])])
+    def test_gnu_sort_u_oracle(self, tmp_path, fmt, flags):
+        lines = int_lines(1_500) if fmt == "int" else str_lines(1_500)
+        source = write_lines(tmp_path / "in.txt", lines)
+        out = tmp_path / "out.txt"
+        argv = ["distinct", "--memory", "64"]
+        if fmt != "int":
+            argv += ["--format", fmt]
+        run_cli(argv + [str(source), "-o", str(out)])
+        oracle = subprocess.run(
+            [GNU_SORT, *flags, "-u", str(source)],
+            capture_output=True, env=C_ENV, check=True,
+        )
+        assert out.read_bytes() == oracle.stdout, stress_case(
+            op="distinct", fmt=fmt
+        )
+
+
+# ---------------------------------------------------------------------------
+# join vs coreutils join
+# ---------------------------------------------------------------------------
+
+
+class TestJoinDifferential:
+    def make_inputs(self, tmp_path, n=800):
+        left = join_lines(n, "l")
+        right = join_lines(n, "r")
+        return (
+            write_lines(tmp_path / "left.csv", left),
+            write_lines(tmp_path / "right.csv", right),
+        )
+
+    def python_join(self, left_path, right_path):
+        def rows(path):
+            return sorted(
+                path.read_text().splitlines(),
+                key=lambda row: (row.split(",")[0], row),
+            )
+
+        by_key = {}
+        for row in rows(right_path):
+            by_key.setdefault(row.split(",")[0], []).append(row)
+        out = []
+        for row in rows(left_path):
+            fields = row.split(",")
+            for match in by_key.get(fields[0], ()):
+                out.append(",".join(fields + match.split(",")[1:]))
+        return out
+
+    def test_python_oracle(self, tmp_path):
+        left, right = self.make_inputs(tmp_path)
+        out = tmp_path / "out.csv"
+        run_cli(["join", "--format", "csv", "--key", "0", "--memory", "64",
+                 str(left), str(right), "-o", str(out)])
+        assert out.read_text().splitlines() == self.python_join(left, right)
+
+    @pytest.mark.skipif(GNU_JOIN is None or GNU_SORT is None,
+                        reason="GNU join/sort not installed")
+    def test_gnu_join_oracle(self, tmp_path):
+        left, right = self.make_inputs(tmp_path)
+        # GNU join needs its inputs pre-sorted; LC_ALL=C byte order on
+        # whole lines is key-compatible for alphanumeric keys, and the
+        # within-group file order it preserves then equals our
+        # (key, row) tie order.
+        sorted_left = tmp_path / "left.sorted"
+        sorted_right = tmp_path / "right.sorted"
+        for source, target in ((left, sorted_left), (right, sorted_right)):
+            with open(target, "wb") as handle:
+                subprocess.run(
+                    [GNU_SORT, str(source)], stdout=handle,
+                    env=C_ENV, check=True,
+                )
+        oracle = subprocess.run(
+            [GNU_JOIN, "-t", ",", str(sorted_left), str(sorted_right)],
+            capture_output=True, env=C_ENV, check=True,
+        )
+        out = tmp_path / "out.csv"
+        run_cli(["join", "--format", "csv", "--key", "0", "--memory", "64",
+                 str(left), str(right), "-o", str(out)])
+        assert out.read_bytes() == oracle.stdout, stress_case(op="join")
+
+    @pytest.mark.skipif(GNU_JOIN is None, reason="GNU join not installed")
+    def test_gnu_join_oracle_actually_used(self, tmp_path):
+        left = write_lines(tmp_path / "l.csv", ["ka,1"])
+        right = write_lines(tmp_path / "r.csv", ["ka,2"])
+        oracle = subprocess.run(
+            [GNU_JOIN, "-t", ",", str(left), str(right)],
+            capture_output=True, env=C_ENV, check=True,
+        )
+        assert oracle.stdout == b"ka,1,2\n"
+
+
+# ---------------------------------------------------------------------------
+# topk vs sort | head
+# ---------------------------------------------------------------------------
+
+
+class TestTopkDifferential:
+    @pytest.mark.parametrize("memory,k", [(4_096, 50), (32, 50)])
+    def test_python_oracle(self, tmp_path, memory, k):
+        lines = int_lines(2_000, memory, k)
+        source = write_lines(tmp_path / "in.txt", lines)
+        out = tmp_path / "out.txt"
+        run_cli(["topk", "-k", str(k), "--memory", str(memory),
+                 str(source), "-o", str(out)])
+        want = sorted((int(line) for line in lines))[:k]
+        got = [int(line) for line in out.read_text().splitlines()]
+        assert got == want, stress_case(op="topk", memory=memory, k=k)
+
+    @pytest.mark.skipif(GNU_SORT is None, reason="GNU sort not installed")
+    def test_sort_head_oracle(self, tmp_path):
+        lines = int_lines(2_000, "head")
+        source = write_lines(tmp_path / "in.txt", lines)
+        out = tmp_path / "out.txt"
+        k = 75
+        run_cli(["topk", "-k", str(k), "--memory", "500",
+                 str(source), "-o", str(out)])
+        oracle = subprocess.run(
+            [GNU_SORT, "-n", str(source)],
+            capture_output=True, env=C_ENV, check=True,
+        )
+        head = b"".join(oracle.stdout.splitlines(keepends=True)[:k])
+        assert out.read_bytes() == head, stress_case(op="topk")
+
+
+# ---------------------------------------------------------------------------
+# agg vs dict oracle
+# ---------------------------------------------------------------------------
+
+
+class TestAggDifferential:
+    def test_dict_oracle(self, tmp_path):
+        rng = random.Random(stress_seed("ops-agg"))
+        lines = [
+            f"g{rng.randint(0, 25):02d},{rng.randint(-50, 50)}"
+            for _ in range(1_200)
+        ]
+        source = write_lines(tmp_path / "in.csv", lines)
+        out = tmp_path / "out.csv"
+        run_cli(["agg", "--format", "csv", "--key", "0", "--value", "1",
+                 "--agg", "count,sum,min,max", "--memory", "32",
+                 str(source), "-o", str(out)])
+        groups = {}
+        for line in lines:
+            key, value = line.split(",")
+            groups.setdefault(key, []).append(int(value))
+        want = [
+            f"{key},{len(vals)},{sum(vals)},{min(vals)},{max(vals)}"
+            for key, vals in sorted(groups.items())
+        ]
+        assert out.read_text().splitlines() == want, stress_case(op="agg")
