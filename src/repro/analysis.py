@@ -7,6 +7,10 @@ against *proved* ones.
 
 All functions return the predicted **number of runs** for an input of
 ``n`` records and a memory of ``m`` records.
+
+Not to be confused with :mod:`repro.lint`, the *static* analysis of
+this codebase's own invariants — this module analyses the paper's
+algorithms, not the source tree.
 """
 
 from __future__ import annotations

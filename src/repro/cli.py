@@ -579,6 +579,16 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the linter (and its dynamic R005 imports) should
+    # not load for ordinary sort commands.
+    from repro.lint import main as lint_main
+
+    # Always pass the (possibly empty) list: None would make the lint
+    # main() fall back to sys.argv, which here still holds 'lint'.
+    return lint_main(args.paths)
+
+
 def _fan_in(text: str) -> int:
     value = int(text)
     if value < 2:
@@ -820,6 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_data.add_argument("--records", type=int, default=100_000)
     p_data.add_argument("--seed", type=int, default=0)
     p_data.set_defaults(func=cmd_dataset)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant linter (same as python -m repro.lint)",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/ tests/)")
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -23,7 +23,7 @@ Records must be newline-free: one record is one line, always.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "RecordFormat",
@@ -276,7 +276,11 @@ class DelimitedFormat(RecordFormat):
     numeric = False  # records are tuples; no arithmetic on them
     blank_input_skippable = True
 
-    def __init__(self, delimiter: str = ",", key_column=0) -> None:
+    def __init__(
+        self,
+        delimiter: str = ",",
+        key_column: Union[int, Sequence[int]] = 0,
+    ) -> None:
         if len(delimiter) != 1 or delimiter == "\n":
             raise ValueError(
                 f"delimiter must be a single non-newline character, "
@@ -339,7 +343,7 @@ class DelimitedFormat(RecordFormat):
             return ""
         return "\n".join([record[1] for record in records]) + "\n"
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # The name attribute is derived; reconstruct from the inputs so
         # instances stay picklable for spawn workers.
         return (DelimitedFormat, (self.delimiter, self.key_columns))
@@ -372,7 +376,7 @@ class CallableFormat(RecordFormat):
     def encode(self, record: Any) -> str:
         return self._encode(record)
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         return (CallableFormat, (self._encode, self._decode))
 
 
@@ -385,7 +389,11 @@ STR = StrFormat()
 FORMAT_NAMES = ("int", "float", "str", "csv", "tsv")
 
 
-def resolve_format(name: str, key=0, delimiter: str = None) -> RecordFormat:
+def resolve_format(
+    name: str,
+    key: Union[int, Sequence[int]] = 0,
+    delimiter: Optional[str] = None,
+) -> RecordFormat:
     """Build the :class:`RecordFormat` a CLI spec names.
 
     ``key`` — an int or a sequence of ints for multi-column keys — and

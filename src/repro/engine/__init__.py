@@ -11,6 +11,8 @@ SortEngine` facade the CLI and experiments drive, and
 crash-safe and resumable (DESIGN.md §11).
 """
 
+from typing import Any
+
 from repro.engine.block_io import (
     DEFAULT_BLOCK_RECORDS,
     BlockWriter,
@@ -26,7 +28,7 @@ from repro.engine.merge_reading import READING_STRATEGIES, open_reading
 _LAZY = ("SortEngine", "SortPlan", "plan_sort", "OperatorPlan", "plan_operator")
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     if name in _LAZY:
         from repro.engine import planner
 

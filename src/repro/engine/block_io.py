@@ -97,7 +97,9 @@ def block_header(record_count: int, crc: int) -> str:
     return f"{BLOCK_HEADER_PREFIX} {record_count} {crc:08x}\n"
 
 
-def _parse_block_header(line: str, path: str, index: int, offset: int):
+def _parse_block_header(
+    line: str, path: str, index: int, offset: int
+) -> Tuple[int, int]:
     parts = line.split()
     if (
         len(parts) != 3

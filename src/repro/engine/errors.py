@@ -16,6 +16,8 @@ module avoids the cycle.
 
 from __future__ import annotations
 
+from typing import Any, Tuple
+
 __all__ = ["SortError", "CorruptBlockError", "JournalError"]
 
 
@@ -48,7 +50,7 @@ class CorruptBlockError(SortError):
             f"at byte offset {offset}: {reason}"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Exception pickling replays ``args`` (the formatted message),
         # which does not match this constructor; without this, a worker
         # process raising CorruptBlockError kills the multiprocessing

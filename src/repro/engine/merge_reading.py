@@ -37,7 +37,7 @@ threads only read and decode.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO
 
 from repro.core.records import RecordFormat
 from repro.engine.block_io import open_text, read_blocks, validate_block_records
@@ -114,10 +114,10 @@ class _RunSource:
         self.checksum = bool(getattr(run, "checksum", False))
         #: Caller-provided merge inputs tolerate blank separator lines.
         self.skip_blank = bool(getattr(run, "skip_blank", False))
-        self.handle = None
+        self.handle: Optional[TextIO] = None
         self.finished = False
         self.delivered = 0
-        self._blocks = None
+        self._blocks: Optional[Iterator[List[Any]]] = None
 
     def read_block(self) -> List[Any]:
         if self.finished:
@@ -128,6 +128,7 @@ class _RunSource:
                 self.handle, self.fmt, self.block_records,
                 checksum=self.checksum, skip_blank=self.skip_blank,
             )
+        assert self._blocks is not None
         block = next(self._blocks, None)
         if block is None:
             # Checksums vouch for present blocks only; a file that
@@ -212,7 +213,7 @@ class ReadingStrategy:
     def __enter__(self) -> "ReadingStrategy":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     # -- hooks ---------------------------------------------------------------
@@ -277,7 +278,7 @@ class ForecastingReading(ReadingStrategy):
     name = "forecasting"
     uses_threads = True
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         # The single extra buffer: (run index, future, charged records)
         # or None.  The charge is the block-size upper bound accounted
@@ -348,7 +349,7 @@ class DoubleBufferingReading(ReadingStrategy):
     name = "double_buffering"
     uses_threads = True
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         # run index -> (future, charged records) for the in-flight
         # refill of that run's idle buffer half.

@@ -493,7 +493,7 @@ class SortEngine:
         return op.run(*args, **kwargs)
 
     @property
-    def operator_report(self):
+    def operator_report(self) -> Optional[Any]:
         """The :class:`~repro.ops.OperatorReport` of the last facade
         operator, once its stream is fully consumed (None before)."""
         op = getattr(self, "_last_operator", None)
@@ -635,6 +635,7 @@ class SortEngine:
         return iter(data)
 
     def _sort_spill(self, stream: Iterable[Any]) -> Iterator[Any]:
+        assert self.plan is not None  # set by sort() before dispatch
         if self.work_dir is not None:
             # Durable serial sorting swaps the run generator for the
             # journaled chunk-aligned one (DESIGN.md §11): exact resume
@@ -671,6 +672,7 @@ class SortEngine:
         return self._finishing(backend, backend.sort(stream))
 
     def _sort_parallel(self, stream: Iterable[Any]) -> Iterator[Any]:
+        assert self.plan is not None  # set by sort() before dispatch
         from repro.sort.parallel import PartitionedSort
 
         kwargs = {}

@@ -49,7 +49,18 @@ import shutil
 import time
 import zlib
 from itertools import islice
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.core.records import INT, RecordFormat
 from repro.engine.block_io import (
@@ -94,6 +105,7 @@ JOURNAL_VERSION = 1
 def file_crc32(path: str, chunk_bytes: int = 1 << 20) -> int:
     """Streaming CRC-32 of a file's raw bytes (resume verification)."""
     crc = 0
+    # repro: lint-waive R002 binary CRC verification read must see the raw bytes, outside the fault/CRC seam
     with open(path, "rb") as handle:
         while True:
             chunk = handle.read(chunk_bytes)
@@ -120,6 +132,7 @@ def write_marker(path: str, payload: Dict[str, Any]) -> None:
     for a finished one.
     """
     tmp = path + ".tmp"
+    # repro: lint-waive R002 completion markers are recovery metadata; injecting faults here would fake the commit point itself
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
         handle.flush()
@@ -130,6 +143,7 @@ def write_marker(path: str, payload: Dict[str, Any]) -> None:
 def read_marker(path: str) -> Optional[Dict[str, Any]]:
     """Load a completion marker; None when absent or unreadable."""
     try:
+        # repro: lint-waive R002 marker reads are recovery metadata, deliberately outside the record-block seam
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, json.JSONDecodeError):
@@ -170,7 +184,7 @@ class SortJournal:
     def __init__(self, path: str) -> None:
         self.path = path
         self.entries: List[Dict[str, Any]] = []
-        self._handle = None
+        self._handle: Optional[TextIO] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -220,6 +234,7 @@ class SortJournal:
     @staticmethod
     def _load(path: str) -> List[Dict[str, Any]]:
         entries: List[Dict[str, Any]] = []
+        # repro: lint-waive R002 the journal is the recovery mechanism; wrapping it in the fault seam it arbitrates would be circular
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
         for index, line in enumerate(lines):
@@ -242,16 +257,19 @@ class SortJournal:
         # after it would fuse two entries into one unparseable mid-file
         # line — poisoning the journal for every later resume.
         try:
+            # repro: lint-waive R002 binary in-place torn-tail repair; open_text has no rb+ mode and must not fault-inject the journal
             with open(self.path, "rb+") as repair:
                 data = repair.read()
                 if data and not data.endswith(b"\n"):
                     repair.truncate(data.rfind(b"\n") + 1)
         except FileNotFoundError:
             pass
+        # repro: lint-waive R002 journal appends must bypass the seam they make recoverable; close() owns this handle
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def append(self, entry: Dict[str, Any]) -> None:
         """Durably record one entry (write + flush + fsync)."""
+        assert self._handle is not None, "journal is not open for append"
         self.entries.append(entry)
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
@@ -650,7 +668,7 @@ class ResumableSpillSort:
         journal: SortJournal,
         session: SpillSession,
         counter: MergeCounter,
-    ):
+    ) -> Callable[[Sequence["SpilledRun"]], "SpilledRun"]:
         """Build the journaling merge_group for ``merge_spilled_runs``.
 
         Each intermediate pass node gets a deterministic id (call

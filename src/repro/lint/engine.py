@@ -1,0 +1,132 @@
+"""Lint driver: parse files, run every registered rule, apply waivers.
+
+``lint_source`` is the core (one source text in, findings out);
+``lint_file`` and ``lint_paths`` layer file reading and directory
+walking on top, and ``main`` is the ``python -m repro.lint`` entry
+point.  Directory walks skip corpus fixtures (files carrying the
+``# repro-lint-corpus:`` header) so the deliberately-bad rule corpus
+never turns the repo gate red; naming a corpus file *directly* on the
+command line lints it, which is how the corpus tests drive the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import (
+    Finding,
+    collect_waivers,
+    corpus_logical_path,
+    suppress_waived,
+)
+from repro.lint.registry import RULES, FileContext
+
+# Importing the rule modules populates the registry as a side effect.
+from repro.lint import (  # noqa: F401  (imported for registration)
+    rules_broker,
+    rules_determinism,
+    rules_durability,
+    rules_pickle,
+    rules_resource,
+)
+
+__all__ = ["RULES", "lint_file", "lint_paths", "lint_source", "main"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache"}
+
+
+def lint_source(
+    source: str, path: str, logical_path: Optional[str] = None
+) -> List[Finding]:
+    """Lint one source text; ``path`` labels the findings."""
+    lines = source.splitlines()
+    if logical_path is None:
+        logical_path = corpus_logical_path(lines) or path
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path,
+                exc.lineno or 1,
+                "R000",
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path, logical_path=logical_path, tree=tree, lines=lines
+    )
+    findings: List[Finding] = []
+    for _rule_id, check in RULES:
+        findings.extend(check(ctx))
+    covered, bad_waivers = collect_waivers(path, lines)
+    return sorted(suppress_waived(findings, covered) + bad_waivers)
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path)
+
+
+def _is_corpus_file(path: str) -> bool:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = [handle.readline() for _ in range(5)]
+    except OSError:
+        return False
+    return corpus_logical_path(head) is not None
+
+
+def _python_files_under(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            name
+            for name in dirnames
+            if name not in _SKIP_DIRS and not name.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint files and directory trees; corpus fixtures are walked past."""
+    findings: List[Finding] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for filename in _python_files_under(path):
+                if _is_corpus_file(filename):
+                    continue
+                findings.extend(lint_file(filename))
+        else:
+            findings.extend(lint_file(path))
+    return sorted(findings)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.lint [paths...]``."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        print("usage: python -m repro.lint [path ...]   (default: src/ tests/)")
+        return 0
+    paths = args or [p for p in ("src", "tests") if os.path.isdir(p)]
+    try:
+        findings = lint_paths(paths)
+    except OSError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(
+            f"repro.lint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0

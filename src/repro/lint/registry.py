@@ -1,0 +1,44 @@
+"""Rule registry and the per-file context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["RULES", "FileContext", "rule"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one source file.
+
+    ``path`` is the real on-disk path (used in reported findings and
+    for R005's import); ``logical_path`` is the path rules scope on —
+    identical to ``path`` except for corpus fixtures, which declare
+    the path they pretend to live at (see ``tests/lint_corpus/``).
+    """
+
+    path: str
+    logical_path: str
+    tree: ast.Module
+    lines: List[str]
+
+
+RuleCheck = Callable[[FileContext], List[Finding]]
+
+#: Every registered rule as ``(rule_id, check)``; populated at import
+#: time by the ``rules_*`` modules through the :func:`rule` decorator.
+RULES: List[Tuple[str, RuleCheck]] = []
+
+
+def rule(rule_id: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register ``check`` under ``rule_id`` (decorator)."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        RULES.append((rule_id, check))
+        return check
+
+    return register

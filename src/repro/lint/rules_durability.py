@@ -1,0 +1,130 @@
+"""R003 — the §11 durability order inside ``engine.resilience``.
+
+DESIGN.md §11's crash-consistency invariant is a strict order per
+artifact: **write → fsync → journal append → delete inputs**.  The
+journal must never claim a file that is not durable yet (a crash right
+after the append would resume from a manifest describing bytes the
+page cache lost), and a merge's inputs must never disappear before the
+journal entry that supersedes them exists (a crash in between loses
+both the inputs and the proof the output covers them).
+
+Statically, within each function of a ``resilience`` module:
+
+* a journal ``append`` whose entry literal carries a ``"file"`` key
+  (i.e. references an on-disk artifact) must be preceded — in source
+  order — by a durability event: an ``os.fsync`` call, a
+  ``write_block_file(..., fsync=True)``, or a ``write_marker`` call
+  (which fsyncs internally);
+* once such an append exists in a function, any ``os.remove`` /
+  ``unlink`` in that function must come *after* an append — deleting
+  first would reorder the invariant.
+
+Appends without a ``"file"`` key (``meta``, ``runs_done``) reference
+no artifact and are exempt.  Source order is an approximation of
+control flow — precise enough for the straight-line journal code this
+rule guards, and the corpus locks both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from typing import List
+
+from repro.lint.astutil import (
+    Scope,
+    call_args_contain_dict_key,
+    dotted,
+    iter_scopes,
+    last_component,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+_DELETERS = ("remove", "unlink")
+
+
+def _in_scope(logical_path: str) -> bool:
+    path = logical_path.replace("\\", "/")
+    return (
+        "tests/" not in path
+        and posixpath.basename(path) == "resilience.py"
+    )
+
+
+def _is_fsync_event(call: ast.Call) -> bool:
+    name = last_component(call.func)
+    if name == "fsync":
+        return True
+    if name == "write_marker":
+        return True
+    if name == "write_block_file":
+        return any(
+            keyword.arg == "fsync"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in call.keywords
+        )
+    return False
+
+
+def _is_journal_append(call: ast.Call) -> bool:
+    if last_component(call.func) != "append":
+        return False
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    receiver = dotted(call.func.value) or ""
+    return "journal" in receiver.lower()
+
+
+@rule("R003")
+def check_durability_order(ctx: FileContext) -> List[Finding]:
+    if not _in_scope(ctx.logical_path):
+        return []
+    findings: List[Finding] = []
+    for scope in iter_scopes(ctx.tree):
+        if isinstance(scope.node, ast.ClassDef):
+            continue
+        fsyncs: List[int] = []
+        file_appends: List[int] = []
+        deletes: List[int] = []
+        for node in scope.nodes():
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_fsync_event(node):
+                fsyncs.append(node.lineno)
+            elif _is_journal_append(node) and call_args_contain_dict_key(
+                node, "file"
+            ):
+                file_appends.append(node.lineno)
+            elif last_component(node.func) in _DELETERS:
+                deletes.append(node.lineno)
+        for line in file_appends:
+            if not any(fsync_line < line for fsync_line in fsyncs):
+                findings.append(
+                    Finding(
+                        ctx.path,
+                        line,
+                        "R003",
+                        "journal append records a file with no preceding "
+                        "fsync in this function — the manifest would "
+                        "claim bytes the OS may not have persisted "
+                        "(§11 write→fsync→journal order)",
+                    )
+                )
+        if file_appends:
+            first_append = min(file_appends)
+            for line in deletes:
+                if line < first_append:
+                    findings.append(
+                        Finding(
+                            ctx.path,
+                            line,
+                            "R003",
+                            "input deleted before the journal append "
+                            "that supersedes it — a crash in between "
+                            "loses both the data and its journal entry "
+                            "(§11 journal→delete order)",
+                        )
+                    )
+    return findings

@@ -1,0 +1,210 @@
+"""R005 — exception classes must survive a pickle round-trip.
+
+The PR-4 incident: a worker raising :class:`CorruptBlockError` (whose
+``__init__`` signature did not match ``args``) killed the
+multiprocessing pool's result-handler thread *on unpickle* and the
+parent's ``pool.map`` waited forever.  Nothing crashed, nothing
+errored — the sort just hung.  Any exception class that can cross a
+``spawn`` boundary must therefore round-trip pickle, preserving type
+and message.
+
+Unlike the other rules this one is semi-dynamic: the AST locates
+exception class definitions (their line numbers anchor the findings),
+then the module is imported and each class is *exercised* — a sample
+instance is built from its signature (placeholder values per
+annotation), pickled, and unpickled.  Three failure modes are
+reported: the class cannot be instantiated from its signature, the
+round-trip raises, or the round-trip silently loses the type or
+message.
+
+Scoped to ``src/repro`` modules (importing arbitrary test files from
+a linter would execute their collection-time side effects); corpus
+fixtures are imported from their file path.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import importlib.util
+import inspect
+import pickle
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.lint.astutil import last_component
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+__all__ = ["exception_classes_of", "sample_instance"]
+
+#: Base-name suffixes/names that mark a class as exception-like.
+_EXCEPTION_HINTS = ("Error", "Exception", "Warning", "Fault", "Injected")
+_EXCEPTION_BASES = ("BaseException", "KeyboardInterrupt", "SystemExit")
+
+
+def _in_scope(logical_path: str) -> bool:
+    path = logical_path.replace("\\", "/")
+    return "repro/" in path and "tests/" not in path
+
+
+def _looks_like_exception_base(base: ast.expr) -> bool:
+    name = last_component(base) or ""
+    return name in _EXCEPTION_BASES or any(
+        name.endswith(hint) for hint in _EXCEPTION_HINTS
+    )
+
+
+def _exception_classdefs(tree: ast.Module) -> List[ast.ClassDef]:
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+        and any(_looks_like_exception_base(base) for base in node.bases)
+    ]
+
+
+def _module_name_for(path: str) -> Optional[str]:
+    """``repro.engine.errors`` for ``.../src/repro/engine/errors.py``."""
+    posix = path.replace("\\", "/")
+    marker = "src/"
+    index = posix.rfind(marker)
+    if index < 0:
+        return None
+    dotted = posix[index + len(marker) :]
+    if not dotted.endswith(".py"):
+        return None
+    return dotted[: -len(".py")].replace("/", ".")
+
+
+def _import_target(ctx: FileContext) -> Any:
+    name = _module_name_for(ctx.path)
+    if name is not None:
+        return importlib.import_module(name)
+    # Corpus fixtures (and any out-of-tree file): import by location,
+    # registered in sys.modules so pickle can resolve the classes.
+    synthetic = "repro_lint_target_" + (
+        ctx.path.replace("\\", "/").replace("/", "_").replace(".", "_")
+    )
+    spec = importlib.util.spec_from_file_location(synthetic, ctx.path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {ctx.path!r}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[synthetic] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def sample_instance(cls: type) -> BaseException:
+    """Instantiate ``cls`` with placeholder values from its signature.
+
+    Shared with ``tests/test_exception_pickling.py`` (the spawn-pool
+    regression guard), so both checks exercise classes the same way.
+    """
+    signature = inspect.signature(cls.__init__)
+    args: List[Any] = []
+    for name, parameter in signature.parameters.items():
+        if name == "self":
+            continue
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.default is not inspect.Parameter.empty:
+            continue
+        annotation = str(parameter.annotation)
+        if "int" in annotation:
+            args.append(7)
+        elif "float" in annotation:
+            args.append(7.0)
+        else:
+            args.append(f"sample-{name}")
+    instance = cls(*args)
+    if not isinstance(instance, BaseException):
+        raise TypeError(f"{cls.__name__} did not build an exception")
+    return instance
+
+
+def exception_classes_of(module: Any) -> Dict[str, type]:
+    """Every exception class *defined in* ``module``, by name."""
+    found: Dict[str, type] = {}
+    for name, value in vars(module).items():
+        if (
+            isinstance(value, type)
+            and issubclass(value, BaseException)
+            and value.__module__ == module.__name__
+        ):
+            found[name] = value
+    return found
+
+
+def _roundtrip_finding(ctx: FileContext, node: ast.ClassDef, cls: type) -> Optional[Finding]:
+    try:
+        instance = sample_instance(cls)
+    except Exception as exc:
+        return Finding(
+            ctx.path,
+            node.lineno,
+            "R005",
+            f"exception class {cls.__name__} could not be exercised "
+            f"from its signature ({exc!r}) — give its parameters "
+            f"defaults or simplify the constructor so picklability "
+            f"can be verified",
+        )
+    try:
+        clone = pickle.loads(pickle.dumps(instance))
+    except Exception as exc:
+        return Finding(
+            ctx.path,
+            node.lineno,
+            "R005",
+            f"exception class {cls.__name__} does not survive a "
+            f"pickle round-trip ({type(exc).__name__}: {exc}) — a "
+            f"spawn worker raising it kills the pool's result handler "
+            f"and hangs the parent forever; add a __reduce__ that "
+            f"replays the constructor",
+        )
+    if type(clone) is not type(instance) or str(clone) != str(instance):
+        return Finding(
+            ctx.path,
+            node.lineno,
+            "R005",
+            f"exception class {cls.__name__} pickles but comes back "
+            f"as {type(clone).__name__}({str(clone)!r}) instead of "
+            f"{type(instance).__name__}({str(instance)!r}) — the "
+            f"worker's failure detail would be silently lost; add a "
+            f"faithful __reduce__",
+        )
+    return None
+
+
+@rule("R005")
+def check_spawn_picklability(ctx: FileContext) -> List[Finding]:
+    if not _in_scope(ctx.logical_path):
+        return []
+    classdefs = _exception_classdefs(ctx.tree)
+    if not classdefs:
+        return []
+    try:
+        module = _import_target(ctx)
+    except Exception as exc:
+        return [
+            Finding(
+                ctx.path,
+                classdefs[0].lineno,
+                "R005",
+                f"module defines exception classes but could not be "
+                f"imported to verify picklability ({exc!r})",
+            )
+        ]
+    defined = exception_classes_of(module)
+    findings = []
+    for node in classdefs:
+        cls = defined.get(node.name)
+        if cls is None:
+            continue
+        finding = _roundtrip_finding(ctx, node, cls)
+        if finding is not None:
+            findings.append(finding)
+    return findings

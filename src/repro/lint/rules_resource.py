@@ -1,0 +1,269 @@
+"""R001 (resource safety) and R002 (fault-seam bypass).
+
+R001 — the PR-4 leak class: ``kway_merge`` held open run files until a
+``finally`` was added, and a :class:`~repro.engine.block_io.
+BlockWriter` that is never flushed silently drops its buffered tail
+(the PR-3 ``write_all`` aliasing bug surfaced exactly there).  The
+rule flags an ``open``/``open_text`` call whose handle is bound to a
+name without any of the accepted custody arrangements:
+
+* used as a ``with`` context manager (never bound, nothing to check);
+* closed inside a ``finally`` block of the same function;
+* re-entered as a ``with`` target (``with handle:`` /
+  ``with closing(handle):``);
+* ownership transferred — the handle is returned or yielded (the
+  caller is then linted for *its* custody), or the call is consumed
+  directly by another expression;
+* stored on ``self`` when the class (or an enclosing one) closes that
+  attribute somewhere — the journal/reader pattern, where ``close()``
+  owns the handle's lifetime.
+
+A bare ``open(...)`` expression statement (handle discarded on the
+spot) is always flagged.  ``BlockWriter`` instances bound to a name
+must see a ``flush()`` call somewhere in the same function.
+
+R002 — the fault seam: every spill/shard/partition file in the
+``engine``/``sort``/``ops``/``merge`` packages must be opened through
+:func:`repro.engine.block_io.open_text`, the single seam the
+fault-injection harness and CRC verification wrap.  A direct builtin
+``open()`` there silently escapes both; metadata I/O that genuinely
+must not be fault-wrapped (journal manifests, completion markers,
+binary CRC verification reads) carries an explicit waiver naming that
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.astutil import (
+    Scope,
+    dotted,
+    iter_scopes,
+    last_component,
+    name_used_in,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+#: Call targets whose result is a file handle needing custody.
+_OPENERS = ("open", "open_text")
+
+#: Packages whose record I/O must go through the open_text seam.
+_SEAM_PACKAGES = ("engine", "sort", "ops", "merge")
+
+
+def _is_opener(call: ast.Call) -> bool:
+    # Builtin ``open`` only as a bare name: ``fs.open(...)`` and
+    # friends are domain methods (e.g. the iosim FileSystem), not file
+    # handles.  ``open_text`` counts however it is reached, including
+    # ``block_io.open_text(...)``.
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return True
+    return last_component(call.func) == "open_text"
+
+
+def _is_blockwriter(call: ast.Call) -> bool:
+    return last_component(call.func) == "BlockWriter"
+
+
+def _handle_bindings(
+    scope: Scope,
+) -> Iterator[Tuple[ast.AST, ast.Call, Optional[str], Optional[ast.Attribute]]]:
+    """Yield ``(stmt, call, bound_name, bound_attr)`` for opener results.
+
+    ``bound_name`` is set for ``h = open_text(...)``, ``bound_attr``
+    for ``self.h = open_text(...)``; both are None for a discarded
+    ``open(...)`` expression statement.
+    """
+    for node in scope.nodes():
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Call) and _is_opener(node.value):
+                yield node, node.value, None, None
+            continue
+        else:
+            continue
+        if not (isinstance(value, ast.Call) and _is_opener(value)):
+            continue
+        if isinstance(target, ast.Name):
+            yield node, value, target.id, None
+        elif isinstance(target, ast.Attribute):
+            yield node, value, None, target
+
+
+def _closed_in_finally(scope: Scope, name: str) -> bool:
+    for node in scope.nodes():
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                target = dotted(sub.func)
+                if target == f"{name}.close":
+                    return True
+                if (
+                    last_component(sub.func) in ("close_stream", "closing")
+                    and any(name_used_in(arg, name) for arg in sub.args)
+                ):
+                    return True
+    return False
+
+
+def _ownership_transferred(scope: Scope, name: str) -> bool:
+    for node in scope.nodes():
+        if isinstance(node, ast.Return) and node.value is not None:
+            if name_used_in(node.value, name):
+                return True
+        if isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value:
+            if name_used_in(node.value, name):
+                return True
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if name_used_in(item.context_expr, name):
+                    return True
+    return False
+
+
+def _attribute_closed_in_class(
+    scope: Scope, attribute: ast.Attribute
+) -> bool:
+    """True when the enclosing class closes ``self.<attr>`` anywhere."""
+    klass = scope.parent_class
+    if klass is None:
+        return False
+    wanted = attribute.attr
+    for node in ast.walk(klass):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "close"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == wanted
+        ):
+            return True
+    return False
+
+
+@rule("R001")
+def check_resource_safety(ctx: FileContext) -> List[Finding]:
+    """Flag escaping handles and unflushed BlockWriters."""
+    findings: List[Finding] = []
+    for scope in iter_scopes(ctx.tree):
+        if isinstance(scope.node, ast.ClassDef):
+            continue  # class bodies hold defs; statements are rare+odd
+        findings.extend(_check_handles(ctx, scope))
+        findings.extend(_check_writers(ctx, scope))
+    return findings
+
+
+def _check_handles(ctx: FileContext, scope: Scope) -> Iterator[Finding]:
+    for stmt, call, name, attribute in _handle_bindings(scope):
+        opener = last_component(call.func)
+        if name is None and attribute is None:
+            yield Finding(
+                ctx.path,
+                stmt.lineno,
+                "R001",
+                f"{opener}() result is discarded; the handle leaks "
+                f"immediately — use 'with {opener}(...)' or bind and "
+                f"close it",
+            )
+        elif name is not None:
+            if _ownership_transferred(scope, name):
+                continue
+            if _closed_in_finally(scope, name):
+                continue
+            yield Finding(
+                ctx.path,
+                stmt.lineno,
+                "R001",
+                f"handle {name!r} from {opener}() escapes without a "
+                f"context manager or try/finally close — the kway_merge "
+                f"leak class; close it in a finally or use 'with'",
+            )
+        else:
+            assert attribute is not None
+            if _attribute_closed_in_class(scope, attribute):
+                continue
+            yield Finding(
+                ctx.path,
+                stmt.lineno,
+                "R001",
+                f"handle stored on {dotted(attribute) or 'attribute'} "
+                f"but no method of the class ever closes "
+                f".{attribute.attr} — give the class a close() that "
+                f"owns the handle's lifetime",
+            )
+
+
+def _check_writers(ctx: FileContext, scope: Scope) -> Iterator[Finding]:
+    flushed = {
+        dotted(node.func)
+        for node in scope.nodes()
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "flush"
+    }
+    for node in scope.nodes():
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target, value = node.targets[0], node.value
+        if not (
+            isinstance(value, ast.Call)
+            and _is_blockwriter(value)
+            and isinstance(target, ast.Name)
+        ):
+            continue
+        if f"{target.id}.flush" in flushed:
+            continue
+        yield Finding(
+            ctx.path,
+            node.lineno,
+            "R001",
+            f"BlockWriter {target.id!r} is never flushed in this "
+            f"function; its buffered tail block is silently dropped "
+            f"(the write_all aliasing incident) — call "
+            f"{target.id}.flush() before the handle closes",
+        )
+
+
+def _in_seam_scope(logical_path: str) -> bool:
+    path = logical_path.replace("\\", "/")
+    if path.endswith("block_io.py"):
+        return False  # the seam module itself must call builtin open()
+    return any(f"repro/{package}/" in path for package in _SEAM_PACKAGES)
+
+
+@rule("R002")
+def check_fault_seam(ctx: FileContext) -> List[Finding]:
+    """Flag builtin ``open()`` calls that bypass ``block_io.open_text``."""
+    if not _in_seam_scope(ctx.logical_path):
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+        ):
+            findings.append(
+                Finding(
+                    ctx.path,
+                    node.lineno,
+                    "R002",
+                    "direct builtin open() in a sort-path package "
+                    "bypasses the block_io.open_text seam, so fault "
+                    "injection and CRC checking never see this file — "
+                    "route through open_text, or waive with the reason "
+                    "this I/O must stay outside the seam",
+                )
+            )
+    return findings

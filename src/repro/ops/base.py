@@ -110,7 +110,7 @@ def report_from_sort(
     )
 
 
-def executed_plan(initial_plan, engine: Any):
+def executed_plan(initial_plan: Any, engine: Any) -> Any:
     """Replace a pre-sort :class:`OperatorPlan` with the executed one.
 
     ``plan_operator`` decides before the input size is known; the

@@ -1,0 +1,10 @@
+# repro-lint-corpus: src/repro/sort/r000_waiver_bad.py
+# expect: R000:8
+# expect: R002:9
+"""A reasonless waiver is itself a finding and suppresses nothing."""
+
+
+def spill(path):
+    # repro: lint-waive R002
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("x\n")

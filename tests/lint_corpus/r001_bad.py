@@ -1,0 +1,20 @@
+# repro-lint-corpus: src/repro/report/r001_example_bad.py
+# expect: R001:9
+# expect: R001:15
+# expect: R001:19
+"""Known-bad handle custody: every accepted arrangement is missing."""
+
+
+def leaky_reader(path):
+    handle = open_text(path, "r")
+    first = handle.readline()
+    return first
+
+
+def discarded(path):
+    open(path, "r")
+
+
+def unflushed(path, fmt, handle):
+    writer = BlockWriter(handle, fmt)
+    writer.write(["1"])

@@ -1,0 +1,35 @@
+# repro-lint-corpus: src/repro/report/r001_example_good.py
+# expect: none
+"""Every accepted custody arrangement for handles and BlockWriters."""
+
+
+def context_managed(path):
+    with open_text(path, "r") as handle:
+        return handle.readline()
+
+
+def finally_closed(path):
+    handle = open_text(path, "r")
+    try:
+        return handle.readline()
+    finally:
+        handle.close()
+
+
+def ownership_transferred(path):
+    handle = open(path, "r", encoding="utf-8")
+    return handle
+
+
+def flushed_writer(handle, fmt):
+    writer = BlockWriter(handle, fmt)
+    writer.write(["1"])
+    writer.flush()
+
+
+class JournalReader:
+    def open_journal(self, path):
+        self.handle = open_text(path, "r")
+
+    def close(self):
+        self.handle.close()

@@ -1,0 +1,8 @@
+# repro-lint-corpus: src/repro/sort/r002_example_bad.py
+# expect: R002:7
+"""Known-bad: builtin open() on the spill path dodges the fault seam."""
+
+
+def spill_partition(path, rows):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(rows)

@@ -1,0 +1,8 @@
+# repro-lint-corpus: src/repro/sort/r002_example_good.py
+# expect: none
+"""Known-good: spill I/O goes through the block_io.open_text seam."""
+
+
+def spill_partition(path, rows):
+    with open_text(path, "w") as handle:
+        handle.writelines(rows)

@@ -1,0 +1,14 @@
+# repro-lint-corpus: src/repro/engine/resilience.py
+# expect: none
+"""Known-good §11 order: write → fsync → journal append → delete inputs."""
+
+
+def merge_group(journal, out_path, inputs, fd):
+    os.fsync(fd)
+    journal.append({"type": "merge", "file": out_path})
+    for path in inputs:
+        os.remove(path)
+
+
+def metadata_only(journal):
+    journal.append({"type": "runs_done", "count": 3})

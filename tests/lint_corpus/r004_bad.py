@@ -1,0 +1,15 @@
+# repro-lint-corpus: src/repro/sort/r004_example_bad.py
+# expect: R004:8
+# expect: R004:13
+"""Known-bad broker pairing: leaked grant and happy-path-only release."""
+
+
+def never_released(broker, amount):
+    grant = broker.request(amount)
+    sort_with(grant)
+
+
+def happy_path_release(broker, amount):
+    grant = broker.request_or_enqueue(amount)
+    sort_with(grant)
+    broker.release(grant)

@@ -1,0 +1,30 @@
+# repro-lint-corpus: src/repro/sort/r004_example_good.py
+# expect: none
+"""Known-good pairing: finally-guarded release; acquisition helpers."""
+
+
+def paired(broker, amount):
+    grant = broker.request(amount)
+    try:
+        sort_with(grant)
+    finally:
+        broker.release(grant)
+
+
+def released_on_error(broker, amount):
+    grant = broker.request(amount)
+    try:
+        sort_with(grant)
+    except BaseException:
+        broker.release(grant)
+        raise
+    broker.release(grant)
+
+
+def acquire(broker, amount):
+    return broker.request_or_enqueue(amount)
+
+
+def acquire_named(broker, amount):
+    grant = broker.try_allocate(amount)
+    return grant

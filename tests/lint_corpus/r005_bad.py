@@ -1,0 +1,10 @@
+# repro-lint-corpus: src/repro/engine/r005_example_bad.py
+# expect: R005:6
+"""Known-bad: unpickling replays __init__ with the wrong arity."""
+
+
+class TwoArgError(Exception):
+    def __init__(self, path, line):
+        super().__init__(f"{path}:{line}")
+        self.path = path
+        self.line = line

@@ -1,0 +1,17 @@
+# repro-lint-corpus: src/repro/engine/r005_example_good.py
+# expect: none
+"""Known-good: exception constructors replay cleanly from args."""
+
+
+class SimpleError(Exception):
+    pass
+
+
+class DetailedError(Exception):
+    def __init__(self, path, line):
+        super().__init__(path, line)
+        self.path = path
+        self.line = line
+
+    def __str__(self):
+        return "{}:{}".format(self.path, self.line)

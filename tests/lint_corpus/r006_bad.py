@@ -1,0 +1,20 @@
+# repro-lint-corpus: src/repro/core/r006_example_bad.py
+# expect: R006:8
+# expect: R006:12
+# expect: R006:16
+# expect: R006:20
+"""Known-bad: ambient entropy and wall clock in the sort core."""
+
+from random import randint
+
+
+def shuffled(blocks):
+    random.shuffle(blocks)
+
+
+def self_seeded():
+    return random.Random()
+
+
+def stamped():
+    return time.time()

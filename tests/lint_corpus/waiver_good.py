@@ -1,0 +1,9 @@
+# repro-lint-corpus: src/repro/sort/waiver_good.py
+# expect: none
+"""A reasoned waiver suppresses the finding on the next line."""
+
+
+def spill(path):
+    # repro: lint-waive R002 marker metadata deliberately outside the fault seam
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("x\n")

@@ -1,0 +1,87 @@
+"""R005 regression guard: exceptions must cross a spawn boundary.
+
+The PR-4 incident class: a worker raising an exception whose
+``__init__`` signature cannot be replayed from ``args`` kills the
+multiprocessing pool's result-handler thread on unpickle, and the
+parent blocks forever — no error, no traceback, just a hang.  These
+tests pin the fix for every exception class in ``repro.engine.errors``
+and ``repro.testing.faults``: an in-process pickle round-trip must
+preserve type and message, and a real ``spawn`` worker raising each
+class must propagate it to the parent as the same type (with a timeout
+so a regression fails instead of hanging the suite).
+
+The discovery and instantiation helpers are shared with the R005 lint
+rule (``repro.lint.rules_pickle``) so both checks exercise classes the
+same way.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.engine import errors as errors_module
+from repro.lint.rules_pickle import exception_classes_of, sample_instance
+from repro.testing import faults as faults_module
+
+MODULES = (errors_module, faults_module)
+
+
+def _class_specs():
+    specs = []
+    for module in MODULES:
+        for name in sorted(exception_classes_of(module)):
+            specs.append((module.__name__, name))
+    return specs
+
+
+def _params():
+    return [
+        pytest.param(module_name, class_name, id=f"{module_name}.{class_name}")
+        for module_name, class_name in _class_specs()
+    ]
+
+
+def test_discovery_finds_the_known_classes():
+    names = {name for _, name in _class_specs()}
+    assert {"SortError", "CorruptBlockError", "JournalError"} <= names
+    assert "FaultInjected" in names
+
+
+@pytest.mark.parametrize("module_name,class_name", _params())
+def test_roundtrip_in_process(module_name, class_name):
+    cls = getattr(importlib.import_module(module_name), class_name)
+    instance = sample_instance(cls)
+    clone = pickle.loads(pickle.dumps(instance))
+    assert type(clone) is cls
+    assert str(clone) == str(instance)
+    assert clone.args == instance.args
+
+
+def _raise_sample(spec):
+    """Spawn-pool worker: build and raise the named exception class."""
+    module_name, class_name = spec
+    cls = getattr(importlib.import_module(module_name), class_name)
+    raise sample_instance(cls)
+
+
+def test_spawn_worker_exceptions_propagate():
+    """Each class raised in a spawn worker reaches the parent intact.
+
+    ``get(timeout=...)`` is the point: before the ``__reduce__`` fix a
+    broken class didn't error here, it hung the pool forever.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        for spec in _class_specs():
+            module_name, class_name = spec
+            result = pool.apply_async(_raise_sample, (spec,))
+            with pytest.raises(BaseException) as excinfo:
+                result.get(timeout=90)
+            assert type(excinfo.value).__name__ == class_name, (
+                f"{module_name}.{class_name} came back as "
+                f"{type(excinfo.value).__name__}: {excinfo.value}"
+            )

@@ -160,13 +160,13 @@ class TestActivation:
             with open_text(str(tmp_path / "ok.txt"), "w") as handle:
                 handle.write("1\n")
             with pytest.raises(FaultInjected):
+                # repro: lint-waive R001 call is asserted to raise; no handle is ever created
                 open_text(str(tmp_path / "victim.txt"), "w")
             assert state.fired
         assert FAULT_PLAN_ENV not in os.environ
         # Seam restored: opens are plain files again.
-        handle = open_text(str(tmp_path / "after.txt"), "w")
-        assert not isinstance(handle, FaultyFile)
-        handle.close()
+        with open_text(str(tmp_path / "after.txt"), "w") as handle:
+            assert not isinstance(handle, FaultyFile)
 
     def test_activate_from_env(self, tmp_path):
         plan = FaultPlan(op="write", nth=1, kind="raise")
@@ -183,6 +183,7 @@ class TestActivation:
         plan = FaultPlan(op="open", nth=1, kind="raise")
         with pytest.raises(FaultInjected):
             with activate(plan):
+                # repro: lint-waive R001 call is asserted to raise; no handle is ever created
                 open_text(str(tmp_path / "f.txt"), "w")
         assert faults._ACTIVE is None
 

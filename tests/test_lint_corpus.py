@@ -1,0 +1,173 @@
+"""Corpus-driven tests for the ``repro.lint`` project-invariant linter.
+
+Every fixture under ``tests/lint_corpus/`` declares the findings it
+must produce in ``# expect: R00N:line`` header comments (or
+``# expect: none``); the parametrized test pins each rule's behaviour
+to those exact ``(rule, line)`` pairs, so a rule change that gains or
+loses a finding fails loudly instead of silently shifting the gate.
+
+The CLI tests then drive ``python -m repro.lint`` as CI does: the real
+tree must be clean (exit 0), a known-bad corpus file must fail (exit 2)
+with ``path:line: R00N message`` formatted findings, and directory
+walks must skip the deliberately-red corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import Finding, lint_file, lint_paths, lint_source
+from repro.lint.findings import collect_waivers
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "lint_corpus")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(R\d{3}):(\d+)")
+_EXPECT_NONE_RE = re.compile(r"#\s*expect:\s*none")
+
+
+def corpus_files():
+    return sorted(
+        name for name in os.listdir(CORPUS_DIR) if name.endswith(".py")
+    )
+
+
+def expected_findings(path):
+    """``{(rule, line)}`` from the fixture's ``# expect:`` header."""
+    expected = set()
+    saw_none = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                break
+            if _EXPECT_NONE_RE.search(line):
+                saw_none = True
+            match = _EXPECT_RE.search(line)
+            if match:
+                expected.add((match.group(1), int(match.group(2))))
+    assert saw_none or expected, (
+        f"{path} declares no expectations; add '# expect: R00N:line' "
+        f"or '# expect: none' headers"
+    )
+    return expected
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_corpus_file_matches_expectations(name):
+    path = os.path.join(CORPUS_DIR, name)
+    actual = {(f.rule, f.line) for f in lint_file(path)}
+    assert actual == expected_findings(path)
+
+
+def test_corpus_covers_every_rule_both_ways():
+    """Each of R001–R006 has at least one bad and one good fixture."""
+    bad_rules = set()
+    good_only = []
+    for name in corpus_files():
+        expected = expected_findings(os.path.join(CORPUS_DIR, name))
+        if expected:
+            bad_rules.update(rule for rule, _ in expected)
+        else:
+            good_only.append(name)
+    for number in range(1, 7):
+        rule = f"R00{number}"
+        assert rule in bad_rules, f"no known-bad corpus case for {rule}"
+        assert any(
+            rule.lower()[1:] in name or f"r00{number}" in name
+            for name in good_only
+        ), f"no known-good corpus case for {rule}"
+
+
+def _run_lint(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_cli_repo_tree_is_clean():
+    result = _run_lint("src", "tests")
+    assert result.returncode == 0, (
+        f"linter found problems in the real tree:\n{result.stdout}"
+    )
+    assert result.stdout.strip() == ""
+
+
+def test_cli_bad_corpus_file_fails_with_formatted_findings():
+    path = os.path.join("tests", "lint_corpus", "r002_bad.py")
+    result = _run_lint(path)
+    assert result.returncode == 2
+    lines = result.stdout.strip().splitlines()
+    assert lines, "expected findings on stdout"
+    pattern = re.compile(r"^.+:\d+: R\d{3} .+$")
+    for line in lines:
+        assert pattern.match(line), f"malformed finding line: {line!r}"
+    assert any(":7: R002 " in line for line in lines)
+
+
+def test_cli_subcommand_mirrors_module_entry_point():
+    """``repro.cli lint`` is the same gate as ``python -m repro.lint``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint",
+         os.path.join("tests", "lint_corpus", "r002_bad.py")],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 2
+    assert ":7: R002 " in result.stdout
+
+
+def test_directory_walk_skips_corpus_fixtures():
+    findings = lint_paths([CORPUS_DIR])
+    assert findings == []
+
+
+def test_waiver_requires_reason():
+    covered, bad = collect_waivers(
+        "x.py",
+        [
+            "# repro: lint-waive R002 metadata outside the seam",
+            "# repro: lint-waive R001",
+        ],
+    )
+    assert covered == {"R002": {1, 2}}
+    assert [(f.rule, f.line) for f in bad] == [("R000", 2)]
+
+
+def test_lint_source_reports_syntax_errors_as_findings():
+    findings = lint_source("def broken(:\n", "broken.py")
+    assert [f.rule for f in findings] == ["R000"]
+    assert findings[0].path == "broken.py"
+
+
+def test_finding_format_is_stable():
+    finding = Finding("src/x.py", 3, "R001", "leak")
+    assert finding.format() == "src/x.py:3: R001 leak"
+
+
+def test_no_import_shadowing_with_analysis_module():
+    """``repro.analysis`` (paper math) and ``repro.lint`` (static
+    analysis) must stay distinct importable modules (satellite 6)."""
+    import repro.analysis
+    import repro.lint
+
+    assert repro.analysis.__file__ != repro.lint.__file__
+    assert hasattr(repro.analysis, "__doc__")
+    assert "run" in repro.analysis.__doc__.lower()
+    assert "static" in repro.lint.__doc__.lower()
