@@ -35,7 +35,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import GeneratorSpec
-from repro.core.records import INT, CallableFormat
+from repro.core.records import (
+    INT,
+    BinaryRecordFormat,
+    CallableFormat,
+    binary_format,
+    resolve_format,
+)
 from repro.engine.planner import SortEngine
 from repro.workloads.generators import random_input
 
@@ -43,6 +49,14 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_blockio.json"
 
 #: The seed's per-record serialisation, as top-level callables.
 LINE_AT_A_TIME = CallableFormat(str, int)
+
+#: Best block-batched wall (block_records=16384, 500k records) recorded
+#: by the PR 3 run of this script on this container — the committed
+#: BENCH_blockio.json in git history before the binary spill format
+#: landed.  Speedups against it are only reported for runs at the same
+#: --records scale.
+PR3_BLOCK_BASELINE_SECONDS = 3.559
+PR3_BASELINE_RECORDS = 500_000
 
 
 def run_once(
@@ -64,20 +78,87 @@ def run_once(
         block_records=block_records,
         reading=reading,
     )
+    source = random_input(records, seed=seed)
+    normalize_wall = None
+    if isinstance(record_format, BinaryRecordFormat):
+        # The binary path sorts (key bytes, payload bytes) records.
+        # The text modes receive their decoded form (Python ints) for
+        # free, so the one-time key normalisation is timed separately
+        # rather than inside the sort, mirroring the CLI where both
+        # paths pay their own input decode stage.
+        decode = record_format.decode
+        started = time.perf_counter()
+        source = [decode(str(value)) for value in source]
+        normalize_wall = round(time.perf_counter() - started, 3)
+    encode = record_format.encode
     digest = hashlib.sha256()
     count = 0
     started = time.perf_counter()
-    for value in engine.sort(random_input(records, seed=seed)):
-        digest.update(f"{value}\n".encode("ascii"))
+    for value in engine.sort(source):
+        digest.update((encode(value) + "\n").encode("ascii"))
         count += 1
     wall = time.perf_counter() - started
     assert count == records, f"lost records: {count} != {records}"
     stats = engine.reading_stats
-    return {
+    row = {
         "wall_seconds": round(wall, 3),
         "merge_passes": engine.merge_passes,
         "block_reads": stats.block_reads if stats else 0,
         "prefetch_hits": stats.prefetch_hits if stats else 0,
+        "sha256": digest.hexdigest(),
+    }
+    if normalize_wall is not None:
+        row["normalize_seconds"] = normalize_wall
+    return row
+
+
+def delimited_once(
+    records: int,
+    memory: int,
+    algorithm: str,
+    fan_in: int,
+    block_records: int,
+    record_format,
+    seed: int,
+) -> dict:
+    """One full sort of delimited rows keyed on a numeric column.
+
+    Integers compare natively either way, so the text-vs-binary gap on
+    the INT sweeps is mostly framing; delimited keys are where the
+    normalised bytes pay — the text path compares decoded
+    ``(rank, class, ...)`` component tuples per heap step while the
+    binary path compares one flat ``bytes`` key with memcmp.  Both
+    modes pay their own input decode stage, timed separately.
+    """
+    engine = SortEngine(
+        GeneratorSpec(algorithm, memory),
+        record_format=record_format,
+        fan_in=fan_in,
+        buffer_records=block_records,
+        block_records=block_records,
+        reading="naive",
+    )
+    rows = [
+        f"{value},p{index:07d}"
+        for index, value in enumerate(random_input(records, seed=seed))
+    ]
+    decode = record_format.decode
+    started = time.perf_counter()
+    source = [decode(row) for row in rows]
+    normalize_wall = round(time.perf_counter() - started, 3)
+    encode = record_format.encode
+    digest = hashlib.sha256()
+    count = 0
+    started = time.perf_counter()
+    for value in engine.sort(source):
+        digest.update((encode(value) + "\n").encode("ascii"))
+        count += 1
+    wall = time.perf_counter() - started
+    assert count == records, f"lost records: {count} != {records}"
+    return {
+        "wall_seconds": round(wall, 3),
+        "normalize_seconds": normalize_wall,
+        "merge_passes": engine.merge_passes,
         "sha256": digest.hexdigest(),
     }
 
@@ -91,34 +172,44 @@ def merge_only(
 ) -> dict:
     """Time just the k-way merge of pre-written sorted run files.
 
-    Isolates the hot merge loop (read blocks -> decode -> heap ->
-    encode nothing, the consumer just hashes), where the block codecs
-    replaced one decode call per record.
+    Isolates the hot merge loop (read blocks -> heap -> the consumer
+    just hashes), where the block codecs replaced one decode call per
+    record and the binary keys replaced the Python-level comparison.
+    Runs are written and merged through the spill primitives directly
+    so every mode — including the binary framing, which
+    ``merge_files`` deliberately refuses for caller-owned text files —
+    exercises the same code path.
     """
     import tempfile
 
     from repro.engine.block_io import write_sequence
+    from repro.merge.kway import MergeCounter
+    from repro.sort.spill import SpilledRun, SpillSession, merge_spilled_runs
 
     run_records = records // fan_in
+    binary = isinstance(record_format, BinaryRecordFormat)
     with tempfile.TemporaryDirectory(prefix="repro-benchio-") as work_dir:
-        paths = []
+        session = SpillSession(work_dir)
+        runs = []
         for index in range(fan_in):
             data = sorted(random_input(run_records, seed=seed * 100 + index))
+            if binary:
+                data = [record_format.decode(str(value)) for value in data]
             path = os.path.join(work_dir, f"run-{index:02d}.txt")
-            write_sequence(path, data, INT)
-            paths.append(path)
-        engine = SortEngine(
-            GeneratorSpec("lss", 1000),
-            record_format=record_format,
-            fan_in=fan_in,
-            buffer_records=block_records,
-            reading="naive",
-        )
+            write_sequence(path, data, record_format)
+            runs.append(SpilledRun(
+                session, path, len(data), record_format, block_records,
+                keep=True,
+            ))
+        encode = record_format.encode
         digest = hashlib.sha256()
         count = 0
         started = time.perf_counter()
-        for value in engine.merge_files(paths):
-            digest.update(f"{value}\n".encode("ascii"))
+        for value in merge_spilled_runs(
+            session, runs, MergeCounter(), record_format, fan_in,
+            block_records,
+        ):
+            digest.update((encode(value) + "\n").encode("ascii"))
             count += 1
         wall = time.perf_counter() - started
     assert count == run_records * fan_in
@@ -171,6 +262,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  wall={row['wall_seconds']}s "
               f"(x{row['speedup_vs_line_at_a_time']})", flush=True)
 
+    binary_rows = []
+    for block in args.blocks:
+        print(f"block_records={block}: binary-spill sort ...", flush=True)
+        row = run_once(
+            **common, block_records=block, reading="naive",
+            record_format=binary_format(INT),
+        )
+        row["mode"] = "binary"
+        row["block_records"] = block
+        row["speedup_vs_line_at_a_time"] = round(
+            baseline["wall_seconds"] / row["wall_seconds"], 3
+        )
+        binary_rows.append(row)
+        print(f"  wall={row['wall_seconds']}s "
+              f"(x{row['speedup_vs_line_at_a_time']})", flush=True)
+
+    csv_format = resolve_format("csv", key=0)
+    delimited_rows = {}
+    for label, fmt in (
+        ("text", csv_format),
+        ("binary", binary_format(csv_format)),
+    ):
+        print(f"delimited ({label}): csv rows keyed on column 0 ...",
+              flush=True)
+        row = delimited_once(
+            **common, block_records=4096, record_format=fmt,
+        )
+        row["mode"] = f"delimited_{label}"
+        delimited_rows[label] = row
+        print(f"  wall={row['wall_seconds']}s", flush=True)
+    delimited_speedup = round(
+        delimited_rows["text"]["wall_seconds"]
+        / delimited_rows["binary"]["wall_seconds"], 3
+    )
+    print(f"  binary x{delimited_speedup} vs text on delimited keys",
+          flush=True)
+
     reading_rows = []
     for reading in ("naive", "forecasting", "double_buffering"):
         print(f"reading={reading}: merge strategy sweep ...", flush=True)
@@ -182,28 +310,60 @@ def main(argv: Optional[List[str]] = None) -> int:
         reading_rows.append(row)
         print(f"  wall={row['wall_seconds']}s", flush=True)
 
-    print("merge-only: line-at-a-time vs block decode ...", flush=True)
+    print("merge-only: line-at-a-time vs block vs binary decode ...",
+          flush=True)
     merge_line = merge_only(
         args.records, args.fan_in, 4096, LINE_AT_A_TIME, args.seed
     )
     merge_block = merge_only(args.records, args.fan_in, 4096, INT, args.seed)
+    merge_binary = merge_only(
+        args.records, args.fan_in, 4096, binary_format(INT), args.seed
+    )
     merge_speedup = round(
         merge_line["wall_seconds"] / merge_block["wall_seconds"], 3
     )
+    merge_binary_speedup = round(
+        merge_line["wall_seconds"] / merge_binary["wall_seconds"], 3
+    )
     print(
         f"  line={merge_line['wall_seconds']}s "
-        f"block={merge_block['wall_seconds']}s (x{merge_speedup})",
+        f"block={merge_block['wall_seconds']}s (x{merge_speedup}) "
+        f"binary={merge_binary['wall_seconds']}s "
+        f"(x{merge_binary_speedup})",
         flush=True,
     )
 
-    digests = {r["sha256"] for r in [baseline, *block_rows, *reading_rows]}
+    digests = {
+        r["sha256"]
+        for r in [baseline, *block_rows, *binary_rows, *reading_rows]
+    }
     identical = (
         len(digests) == 1
         and merge_line["sha256"] == merge_block["sha256"]
+        == merge_binary["sha256"]
+        and delimited_rows["text"]["sha256"]
+        == delimited_rows["binary"]["sha256"]
     )
     best = max(
         r["speedup_vs_line_at_a_time"] for r in block_rows
     )
+    best_binary = max(
+        r["speedup_vs_line_at_a_time"] for r in binary_rows
+    )
+
+    vs_pr3 = None
+    if args.records == PR3_BASELINE_RECORDS:
+        vs_pr3 = {
+            "pr3_best_block_wall_seconds": PR3_BLOCK_BASELINE_SECONDS,
+            "block_speedup_vs_pr3": round(
+                PR3_BLOCK_BASELINE_SECONDS
+                / min(r["wall_seconds"] for r in block_rows), 3
+            ),
+            "binary_speedup_vs_pr3": round(
+                PR3_BLOCK_BASELINE_SECONDS
+                / min(r["wall_seconds"] for r in binary_rows), 3
+            ),
+        }
 
     payload = {
         "benchmark": "block-batched spill I/O vs line-at-a-time baseline",
@@ -212,13 +372,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "python": sys.version.split()[0],
         "output_identical_across_settings": identical,
         "best_block_speedup_vs_line_at_a_time": best,
+        "best_binary_speedup_vs_line_at_a_time": best_binary,
         "merge_only_speedup_vs_line_at_a_time": merge_speedup,
+        "merge_only_binary_speedup_vs_line_at_a_time": merge_binary_speedup,
+        "delimited_binary_speedup_vs_text": delimited_speedup,
+        "end_to_end_vs_pr3_block_batched": vs_pr3,
         "line_at_a_time_baseline": baseline,
         "block_sweep": block_rows,
+        "binary_sweep": binary_rows,
+        "delimited": delimited_rows,
         "reading_sweep": reading_rows,
         "merge_only": {
             "line_at_a_time": merge_line,
             "block": merge_block,
+            "binary": merge_binary,
         },
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import GeneratorSpec
-from repro.core.records import DelimitedFormat, INT
+from repro.core.records import DelimitedFormat, INT, binary_format
 from repro.engine.planner import SortEngine
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ops.json"
@@ -82,8 +82,20 @@ def timed(label: str, make_stream, encode) -> dict:
     }
 
 
-def sweep_operator(name: str, runner, memory: int, record_format) -> dict:
-    """One operator, serial and workers=2; assert identical digests."""
+def sweep_operator(
+    name: str,
+    runner,
+    memory: int,
+    record_format,
+    binary_runner=None,
+    binary_format_=None,
+) -> dict:
+    """One operator, serial and workers=2; assert identical digests.
+
+    When a binary runner is given, the operator also runs serially over
+    the binary spill encoding of the same corpus, and its output digest
+    must match the text path's byte for byte.
+    """
     print(f"{name}:", flush=True)
     rows = {}
     for label, workers in (("serial", 1), ("workers_2", 2)):
@@ -94,6 +106,20 @@ def sweep_operator(name: str, runner, memory: int, record_format) -> dict:
         row["groups"] = report.groups
         rows[label] = row
     identical = rows["serial"]["sha256"] == rows["workers_2"]["sha256"]
+    if binary_runner is not None:
+        engine = engine_for(memory, 1, binary_format_)
+        row = binary_runner(engine)
+        report = engine.operator_report
+        row["rows_in"] = report.rows_in
+        row["groups"] = report.groups
+        row["identical_to_text"] = (
+            row["sha256"] == rows["serial"]["sha256"]
+        )
+        row["speedup_vs_text"] = round(
+            rows["serial"]["wall_seconds"] / row["wall_seconds"], 3
+        ) if row["wall_seconds"] else None
+        rows["serial_binary"] = row
+        identical = identical and row["identical_to_text"]
     return {"operator": name, "identical_across_workers": identical, **rows}
 
 
@@ -118,6 +144,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     ints = int_corpus(args.records, args.seed + 2)
     k = min(1_000, args.memory)
 
+    # The same corpora under the binary spill encoding: identical row
+    # text, normalised key bytes.  Each operator's binary leg must hash
+    # identically to its text leg.
+    bin_csv_fmt = binary_format(csv_fmt)
+    bin_int_fmt = binary_format(INT)
+    bin_csv_rows = [bin_csv_fmt.decode(csv_fmt.encode(r)) for r in csv_rows]
+    bin_right_rows = [
+        bin_csv_fmt.decode(csv_fmt.encode(r)) for r in right_rows
+    ]
+    bin_ints = [bin_int_fmt.decode(str(v)) for v in ints]
+
     results = [
         sweep_operator(
             "distinct",
@@ -126,6 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 lambda: e.distinct(list(csv_rows)), csv_fmt.encode,
             ),
             args.memory, csv_fmt,
+            lambda e: timed(
+                "distinct binary",
+                lambda: e.distinct(list(bin_csv_rows)), bin_csv_fmt.encode,
+            ),
+            bin_csv_fmt,
         ),
         sweep_operator(
             "aggregate",
@@ -138,6 +180,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 str,
             ),
             args.memory, csv_fmt,
+            lambda e: timed(
+                "agg binary",
+                lambda: e.aggregate(
+                    list(bin_csv_rows),
+                    ("count", "sum", "min", "max", "avg"),
+                    value_column=1,
+                ),
+                str,
+            ),
+            bin_csv_fmt,
         ),
         sweep_operator(
             "join",
@@ -150,6 +202,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 str,
             ),
             args.memory, csv_fmt,
+            lambda e: timed(
+                "join binary",
+                lambda: e.join(
+                    list(bin_csv_rows), list(bin_right_rows),
+                    right_format=bin_csv_fmt,
+                ),
+                str,
+            ),
+            bin_csv_fmt,
         ),
         sweep_operator(
             "topk",
@@ -158,6 +219,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 lambda: e.topk(list(ints), k), INT.encode,
             ),
             args.memory, INT,
+            lambda e: timed(
+                "topk binary",
+                lambda: e.topk(list(bin_ints), k), bin_int_fmt.encode,
+            ),
+            bin_int_fmt,
         ),
     ]
 

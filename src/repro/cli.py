@@ -190,6 +190,7 @@ def _engine_for(
     return SortEngine(
         _make_spec(args),
         record_format=record_format,
+        binary_spill=getattr(args, "binary_spill", False),
         workers=getattr(args, "workers", 1),
         partition=getattr(args, "partition", "hash"),
         fan_in=args.fan_in,
@@ -376,11 +377,16 @@ def _run_unary_operator(
         raise SystemExit(f"repro: error: {exc}")
     try:
         with _open_input(args.input) as handle, _open_output(args.output) as out:
+            # The operator consumes and emits records of the *engine's*
+            # format (the binary wrapper under --binary-spill); both CLI
+            # boundaries stay plain text whatever the working format.
             records = iter_records(
-                handle, record_format, args.block_records, skip_blank=True
+                handle, engine.record_format, args.block_records,
+                skip_blank=True, binary=False,
             )
             writer = BlockWriter(
-                out, output_format or record_format, args.block_records
+                out, output_format or engine.record_format,
+                args.block_records, binary=False,
             )
             writer.write_all(op.run(records, resume=args.resume))
             writer.flush()
@@ -458,13 +464,14 @@ def cmd_join(args: argparse.Namespace) -> int:
                 _open_input(args.right) as right_handle, \
                 _open_output(args.output) as out:
             left_records = iter_records(
-                left_handle, left_format, args.block_records, skip_blank=True
+                left_handle, left_engine.record_format, args.block_records,
+                skip_blank=True, binary=False,
             )
             right_records = iter_records(
-                right_handle, right_format, args.block_records,
-                skip_blank=True,
+                right_handle, right_engine.record_format, args.block_records,
+                skip_blank=True, binary=False,
             )
-            writer = BlockWriter(out, STR, args.block_records)
+            writer = BlockWriter(out, STR, args.block_records, binary=False)
             writer.write_all(
                 op.run(left_records, right_records, resume=args.resume)
             )
@@ -495,7 +502,9 @@ def cmd_merge(args: argparse.Namespace) -> int:
     engine = _engine_for(args, record_format)
     try:
         with _open_output(args.output) as out:
-            writer = BlockWriter(out, record_format, args.block_records)
+            writer = BlockWriter(
+                out, engine.record_format, args.block_records, binary=False
+            )
             if args.inputs:
                 writer.write_all(engine.merge_files(args.inputs))
             writer.flush()
@@ -711,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "balances any distribution, 'range' gives "
                                 "each worker a disjoint key band from "
                                 "sampled cut points (default hash)")
+        p.add_argument("--binary-spill", action="store_true",
+                       help="spill runs/shards as length-prefixed binary "
+                            "blocks with order-preserving key bytes, so "
+                            "the merge heap compares raw bytes instead of "
+                            "decoded records; output is byte-identical to "
+                            "the text path (DESIGN.md §14)")
         p.add_argument("--checksum", action="store_true",
                        help="write per-block CRC-32 headers into every "
                             "spill/shard file and verify them during the "

@@ -1,0 +1,289 @@
+"""Order-preserving binary sort keys (the memcmp trick, in Python).
+
+Every hot loop in the text path pays a Python-level comparison per
+record pair: tuple keys walk ``(type_rank, value)`` pairs, floats
+dispatch through ``float.__lt__``, delimited rows re-compare parsed
+columns on every heap sift.  Real engines normalise the sort key once,
+at decode time, into bytes whose *lexicographic* order equals the
+key's logical order — after that, every comparison anywhere in the
+pipeline (run generation, the k-way merge heap, shard cut points) is
+one C-level ``bytes`` compare.
+
+This module holds the codecs; :class:`repro.core.records.
+BinaryRecordFormat` applies them.  The contract, verified exhaustively
+by ``tests/test_keycodec.py``:
+
+* **order isomorphism** — ``normalize_key(fmt, a) < normalize_key(fmt,
+  b)`` exactly when the text path's key order says ``a < b``;
+* **equality faithfulness** — keys that compare equal (``1`` vs
+  ``1.0`` in a delimited column, ``-0.0`` vs ``0.0``) produce
+  *identical* bytes, so group boundaries and tie-breaks agree with the
+  text path byte for byte;
+* **round trip** — ``denormalize(fmt, normalize_key(fmt, k)) == k``.
+
+Byte layouts (worked examples in DESIGN.md §14):
+
+``int`` (scalar ``--format int`` keys)
+    One header byte encodes sign and magnitude width: ``0x80`` is
+    zero; positive values use ``0x80 + n`` (n = magnitude bytes,
+    1..8) followed by the big-endian magnitude; negatives mirror it
+    below with ``0x80 - n`` and the byte-complemented magnitude.
+    Magnitudes wider than 8 bytes (bignums) escape to ``0x89``/
+    ``0x77`` plus an explicit 4-byte width (complemented on the
+    negative side so wider magnitudes sort more negative).
+
+``float`` (scalar ``--format float`` keys)
+    The classic IEEE-754 monotone map: pack big-endian, then flip all
+    64 bits for negatives or just the sign bit for non-negatives.
+    ``-0.0`` is canonicalised to ``0.0`` first (they compare equal, so
+    they must encode identically); NaN is rejected, matching
+    :class:`~repro.core.records.FloatFormat`.
+
+``str`` (scalar ``--format str`` keys)
+    Raw UTF-8 — UTF-8's lexicographic byte order *is* code-point
+    order, which is exactly Python's ``str`` comparison.
+
+Delimited key columns (``(type_rank, value)`` pairs)
+    Each column becomes a self-terminating component; multi-column
+    keys simply concatenate.  A component opens with its type rank
+    (``0x00`` numeric, ``0x01`` text — numbers sort before text,
+    matching :func:`repro.core.records._parse_key`).
+
+    Numeric columns mix ``int`` and ``float`` values that must stay
+    mutually ordered *and* encode identically when equal, so both are
+    mapped to their exact decimal form ``|v| = 0.digits * 10**E``
+    (floats through ``as_integer_ratio`` — ``repr`` shortest-form
+    digits would collide with nearby exact integers).  The component
+    is a class marker (``0x00`` -inf, ``0x01`` negative, ``0x02``
+    zero, ``0x03`` positive, ``0x04`` +inf), then for finite non-zero
+    values an offset-binary 8-byte exponent and the ASCII digit run
+    (trailing zeros stripped) closed by a ``0x00`` terminator;
+    negatives complement the exponent-and-digit bytes and terminate
+    with ``0xFF`` so bigger magnitudes sort first.
+
+    Text columns are UTF-8 with embedded ``0x00`` escaped as ``0x00
+    0xFF`` and a ``0x00`` terminator — the standard prefix-free
+    encoding (FoundationDB tuples use the same one).  It stays
+    order-correct under concatenation because every byte that can
+    follow a terminator (a rank byte or end-of-key) is below ``0xFF``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any, Callable, List, Tuple
+
+__all__ = [
+    "encode_int_key",
+    "decode_int_key",
+    "encode_float_key",
+    "decode_float_key",
+    "encode_str_key",
+    "decode_str_key",
+    "encode_key_component",
+    "decode_key_component",
+    "encode_column_key",
+    "decode_column_key",
+]
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+_SIGN_BIT = 1 << 63
+_ALL_BITS = (1 << 64) - 1
+
+
+# -- scalar int ---------------------------------------------------------------
+
+def encode_int_key(value: int) -> bytes:
+    """Order-preserving bytes for one (arbitrary-precision) int."""
+    if value > 0:
+        n = (value.bit_length() + 7) >> 3
+        mag = value.to_bytes(n, "big")
+        if n <= 8:
+            return bytes((0x80 + n,)) + mag
+        return b"\x89" + _U32.pack(n) + mag
+    if value == 0:
+        return b"\x80"
+    mag_value = -value
+    n = (mag_value.bit_length() + 7) >> 3
+    comp = (((1 << (n << 3)) - 1) - mag_value).to_bytes(n, "big")
+    if n <= 8:
+        return bytes((0x80 - n,)) + comp
+    return b"\x77" + _U32.pack(0xFFFFFFFF - n) + comp
+
+
+def decode_int_key(data: bytes) -> int:
+    header = data[0]
+    if header == 0x80:
+        return 0
+    if 0x81 <= header <= 0x88:
+        return int.from_bytes(data[1:], "big")
+    if header == 0x89:
+        return int.from_bytes(data[5:], "big")
+    if 0x78 <= header <= 0x7F:
+        n = 0x80 - header
+        return -(((1 << (n << 3)) - 1) - int.from_bytes(data[1:], "big"))
+    if header == 0x77:
+        (comp_n,) = _U32.unpack_from(data, 1)
+        n = 0xFFFFFFFF - comp_n
+        return -(((1 << (n << 3)) - 1) - int.from_bytes(data[5:], "big"))
+    raise ValueError(f"bad int key header byte {header:#04x}")
+
+
+# -- scalar float -------------------------------------------------------------
+
+def encode_float_key(value: float) -> bytes:
+    """The IEEE-754 monotone bit map (``-0.0`` canonicalised first)."""
+    if math.isnan(value):
+        raise ValueError("NaN keys are unorderable and cannot be encoded")
+    if value == 0.0:
+        value = 0.0  # collapse -0.0: equal keys must encode identically
+    (bits,) = _U64.unpack(_F64.pack(value))
+    if bits & _SIGN_BIT:
+        bits ^= _ALL_BITS
+    else:
+        bits |= _SIGN_BIT
+    return _U64.pack(bits)
+
+
+def decode_float_key(data: bytes) -> float:
+    (bits,) = _U64.unpack(data)
+    if bits & _SIGN_BIT:
+        bits ^= _SIGN_BIT
+    else:
+        bits ^= _ALL_BITS
+    return _F64.unpack(_U64.pack(bits))[0]
+
+
+# -- scalar str ---------------------------------------------------------------
+
+def encode_str_key(value: str) -> bytes:
+    """Raw UTF-8: byte order equals code-point order equals str order."""
+    return value.encode("utf-8")
+
+
+def decode_str_key(data: bytes) -> str:
+    return data.decode("utf-8")
+
+
+# -- delimited key components -------------------------------------------------
+
+def _decimal_parts(value: Any) -> Tuple[int, str]:
+    """``(E, digits)`` of the *exact* decimal ``|value| = 0.digits*10**E``.
+
+    Exactness matters: a float's ``repr`` digits are the shortest
+    round-tripping form, which can equal a nearby integer's digits
+    without the values being equal (``float("1e300") != 10**300``
+    but both would render as ``1e+300``).  ``as_integer_ratio`` gives
+    the float's true value, so int-vs-float order and equality come
+    out exactly as Python compares them.
+    """
+    if isinstance(value, int):
+        digits = str(-value if value < 0 else value)
+        return len(digits), digits.rstrip("0")
+    numerator, denominator = abs(value).as_integer_ratio()
+    shift = denominator.bit_length() - 1  # denominator is a power of two
+    digits = str(numerator * 5**shift)
+    return len(digits) - shift, digits.rstrip("0")
+
+
+def encode_key_component(pair: Tuple[int, Any]) -> bytes:
+    """One ``(type_rank, value)`` column as a self-terminating component."""
+    rank, value = pair
+    if rank == 1:
+        data = value.encode("utf-8")
+        if b"\x00" in data:
+            data = data.replace(b"\x00", b"\x00\xff")
+        return b"\x01" + data + b"\x00"
+    if value == 0:
+        return b"\x00\x02"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return b"\x00\x04" if value > 0 else b"\x00\x00"
+        if math.isnan(value):
+            raise ValueError(
+                "NaN keys are unorderable and cannot be encoded"
+            )
+    exponent, digits = _decimal_parts(value)
+    body = _U64.pack(exponent + _SIGN_BIT) + digits.encode("ascii")
+    if value > 0:
+        return b"\x00\x03" + body + b"\x00"
+    return b"\x00\x01" + bytes(b ^ 0xFF for b in body) + b"\xff"
+
+
+def decode_key_component(data: bytes, pos: int) -> Tuple[Tuple[int, Any], int]:
+    """Decode one component at ``pos``; returns ``(pair, next_pos)``.
+
+    Numeric values come back as the int when the exact value is
+    integral, else the float — either way ``==`` to every value that
+    produced those bytes (``1`` and ``1.0`` encode identically, so
+    the distinction is unrecoverable *by design*).
+    """
+    rank = data[pos]
+    pos += 1
+    if rank == 0x01:
+        end = data.index(b"\x00", pos)
+        while data[end + 1 : end + 2] == b"\xff":  # escaped NUL, keep going
+            end = data.index(b"\x00", end + 2)
+        raw = data[pos:end]
+        if b"\x00\xff" in raw:
+            raw = raw.replace(b"\x00\xff", b"\x00")
+        return (1, raw.decode("utf-8")), end + 1
+    if rank != 0x00:
+        raise ValueError(f"bad key component rank byte {rank:#04x}")
+    marker = data[pos]
+    pos += 1
+    if marker == 0x02:
+        return (0, 0), pos
+    if marker == 0x00:
+        return (0, float("-inf")), pos
+    if marker == 0x04:
+        return (0, float("inf")), pos
+    if marker == 0x03:
+        end = data.index(b"\x00", pos + 8)
+        body = data[pos:end]
+        negative = False
+    elif marker == 0x01:
+        end = data.index(b"\xff", pos + 8)
+        body = bytes(b ^ 0xFF for b in data[pos:end])
+        negative = True
+    else:
+        raise ValueError(f"bad numeric key marker byte {marker:#04x}")
+    (offset_exponent,) = _U64.unpack_from(body, 0)
+    exponent = offset_exponent - _SIGN_BIT
+    digits = body[8:].decode("ascii")
+    magnitude: Any
+    if exponent >= len(digits):
+        magnitude = int(digits) * 10 ** (exponent - len(digits))
+    else:
+        # Fractional: the digit run is a float's exact decimal form,
+        # and int true-division rounds correctly, so this recovers
+        # the original float bit for bit.
+        magnitude = int(digits) / 10 ** (len(digits) - exponent)
+    return (0, -magnitude if negative else magnitude), end + 1
+
+
+def encode_column_key(key: Any, arity: int) -> bytes:
+    """A delimited key (one pair, or a tuple of pairs) as bytes."""
+    if arity == 1:
+        return encode_key_component(key)
+    return b"".join([encode_key_component(pair) for pair in key])
+
+
+def decode_column_key(data: bytes, arity: int) -> Any:
+    if arity == 1:
+        pair, pos = decode_key_component(data, 0)
+        if pos != len(data):
+            raise ValueError("trailing bytes after single-column key")
+        return pair
+    pairs: List[Tuple[int, Any]] = []
+    pos = 0
+    for _ in range(arity):
+        pair, pos = decode_key_component(data, pos)
+        pairs.append(pair)
+    if pos != len(data):
+        raise ValueError("trailing bytes after multi-column key")
+    return tuple(pairs)

@@ -23,20 +23,28 @@ Records must be newline-free: one record is one line, always.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core import keycodec
 
 __all__ = [
     "RecordFormat",
     "IntFormat",
     "FloatFormat",
+    "FloatRecord",
     "StrFormat",
     "DelimitedFormat",
     "CallableFormat",
+    "BinaryRecordFormat",
+    "KeyOnlyRecord",
     "INT",
     "FLOAT",
     "STR",
     "FORMAT_NAMES",
     "resolve_format",
+    "binary_format",
+    "normalize_key",
+    "denormalize",
 ]
 
 
@@ -159,8 +167,42 @@ class IntFormat(RecordFormat):
         return "\n".join(map(str, records)) + "\n"
 
 
+class FloatRecord(float):
+    """A float that remembers its input spelling (ISSUE 7 satellite 1).
+
+    ``repr`` canonicalisation hid a round-trip bug behind plain
+    ``float`` records: ``1e3`` decoded to ``1000.0`` and was written
+    back as ``1000.0``, and ``-0.0`` could come back as ``0.0`` — a
+    sort changed the bytes of records it should only reorder
+    (``sort(1)`` never rewrites a line).  The original text rides
+    along here and ``encode`` emits it untouched.
+
+    Comparison, equality, hashing and arithmetic are exactly
+    ``float``'s — the text is cargo, not identity.  ``-0.0`` and
+    ``0.0`` (or ``1e3`` and ``1000.0``) still compare *equal*, so
+    every backend orders equal values stably (input order under the
+    stable in-memory sorts, stream order under the merge heap's
+    index tiebreak) and output stays byte-identical across backends
+    and with plain-float inputs from API callers.
+    """
+
+    __slots__ = ("text",)
+
+    def __new__(cls, value: float, text: Optional[str] = None) -> "FloatRecord":
+        self = super().__new__(cls, value)
+        self.text = float.__repr__(self) if text is None else text
+        return self
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (FloatRecord, (float.__float__(self), self.text))
+
+
 class FloatFormat(RecordFormat):
-    """One float per line; ``repr`` round-trips the value exactly.
+    """One float per line, spelling-preserving (:class:`FloatRecord`).
+
+    ``encode`` writes back the record's original text (``1e3`` stays
+    ``1e3``); records synthesised as plain floats (datasets, tests)
+    encode via ``repr``, which round-trips the value exactly.
 
     NaN is rejected with a :class:`ValueError`: it is unordered
     against everything, so one NaN record would silently break every
@@ -179,9 +221,11 @@ class FloatFormat(RecordFormat):
             raise ValueError(
                 f"NaN records are unorderable and cannot be sorted: {text!r}"
             )
-        return value
+        return FloatRecord(value, text)
 
     def encode(self, record: Any) -> str:
+        if isinstance(record, FloatRecord):
+            return record.text
         return repr(record)
 
     def decode_block(self, lines: Sequence[str]) -> List[Any]:
@@ -196,12 +240,16 @@ class FloatFormat(RecordFormat):
                 f"NaN records are unorderable and cannot be sorted: "
                 f"{_strip_line(bad)!r}"
             )
-        return values
+        return [
+            FloatRecord(value, _strip_line(line))
+            for value, line in zip(values, lines)
+        ]
 
     def encode_block(self, records: Sequence[Any]) -> str:
         if not records:
             return ""
-        return "\n".join(map(repr, records)) + "\n"
+        encode = self.encode
+        return "\n".join([encode(record) for record in records]) + "\n"
 
 
 class StrFormat(RecordFormat):
@@ -267,9 +315,25 @@ class DelimitedFormat(RecordFormat):
     column.  The encoded form is the original row, byte-for-byte.
 
     Blank and whitespace-only input lines are treated as skippable
-    separators (``blank_input_skippable``): they are never data rows,
-    and a row genuinely missing a key column still raises a clear
-    :class:`ValueError`.
+    separators (``blank_input_skippable``): they are never data rows.
+
+    **Empty vs. missing key columns** (ISSUE 7 satellite 2) — the two
+    look alike but are different inputs and take explicitly different,
+    backend-independent paths:
+
+    * an *empty* key column (``a,,c`` with ``--key 1``: the delimiter
+      is present, the field is ``""``) is data.  It parses as the text
+      pair ``(1, "")``, which sorts after every numeric key and before
+      every non-empty text key — GNU ``sort -t, -k2`` places empty
+      fields the same way.
+    * a *missing* key column (``a`` with ``--key 1``: too few
+      delimiters) is a malformed row and raises ``ValueError("row has
+      N column(s), key column M does not exist: ...")``.
+
+    Both behaviors are identical across the serial, parallel, and ops
+    backends because every backend decodes rows through this one
+    method — there is no second parse path that could disagree
+    (``tests/test_binary_spill.py`` pins this per backend).
     """
 
     name = "delimited"
@@ -378,6 +442,335 @@ class CallableFormat(RecordFormat):
 
     def __reduce__(self) -> Tuple[Any, ...]:
         return (CallableFormat, (self._encode, self._decode))
+
+
+def _key_normalizer(fmt: "RecordFormat") -> Callable[[Any], bytes]:
+    """The order-preserving key encoder for ``fmt``'s key type."""
+    if isinstance(fmt, BinaryRecordFormat):
+        return fmt._normalize
+    if isinstance(fmt, IntFormat):
+        return keycodec.encode_int_key
+    if isinstance(fmt, FloatFormat):
+        return keycodec.encode_float_key
+    if isinstance(fmt, StrFormat):
+        return keycodec.encode_str_key
+    if isinstance(fmt, DelimitedFormat):
+        arity = fmt.key_arity
+        return lambda key: keycodec.encode_column_key(key, arity)
+    raise ValueError(
+        f"format {fmt.name!r} has no binary key codec; binary spill "
+        f"needs one of the built-in formats (int/float/str/delimited)"
+    )
+
+
+def _key_denormalizer(fmt: "RecordFormat") -> Callable[[bytes], Any]:
+    """The inverse of :func:`_key_normalizer` (up to ``==``)."""
+    if isinstance(fmt, BinaryRecordFormat):
+        return fmt._denormalize
+    if isinstance(fmt, IntFormat):
+        return keycodec.decode_int_key
+    if isinstance(fmt, FloatFormat):
+        return keycodec.decode_float_key
+    if isinstance(fmt, StrFormat):
+        return keycodec.decode_str_key
+    if isinstance(fmt, DelimitedFormat):
+        arity = fmt.key_arity
+        return lambda data: keycodec.decode_column_key(data, arity)
+    raise ValueError(f"format {fmt.name!r} has no binary key codec")
+
+
+def normalize_key(fmt: "RecordFormat", key: Any) -> bytes:
+    """``fmt``'s sort key as order-preserving bytes (DESIGN.md §14).
+
+    The contract — verified by ``tests/test_keycodec.py`` across all
+    formats and input distributions — is order isomorphism
+    (``normalize_key(a) < normalize_key(b)`` iff key order says
+    ``a < b``) and equality faithfulness (equal keys yield identical
+    bytes, so tie-breaks and group boundaries cannot diverge).
+    """
+    return _key_normalizer(fmt)(key)
+
+
+def denormalize(fmt: "RecordFormat", data: bytes) -> Any:
+    """Decode :func:`normalize_key` bytes back to a key.
+
+    Round-trips up to ``==``: equal keys encode identically by
+    design, so e.g. a delimited ``1.0`` comes back as ``1`` (they are
+    the same key) and ``-0.0`` comes back as ``0.0``.
+    """
+    return _key_denormalizer(fmt)(data)
+
+
+class KeyOnlyRecord:
+    """A binary float record whose payload is cargo, not identity.
+
+    Scalar floats are the one built-in format where records with
+    *equal* keys can carry different payloads (``-0.0`` vs ``0.0``,
+    ``1e3`` vs ``1000.0``) while the text path orders them *stably*:
+    equal values compare equal, so the stable in-memory sorts keep
+    input order and the merge heap falls through to its stream-index
+    tiebreak.  A plain ``(key, payload)`` tuple would tiebreak on the
+    payload bytes and diverge from that order, so float binary
+    records compare, hash and equate by their key bytes alone — the
+    payload rides along for the output stage, exactly like
+    :class:`FloatRecord`'s text.
+
+    The record also answers the numeric questions 2WRS asks of float
+    records (the Mean heuristic's running sum, the victim buffer's
+    gap subtraction, ``value > mean``) through :attr:`value` — the
+    float the key bytes encode — so the binary path runs the *same*
+    2WRS configuration and makes the *same* routing decisions as the
+    text path instead of degrading to the non-numeric coin flip.
+    ``value`` is carried from ``decode`` when available and otherwise
+    lazily recovered from the key bytes (one ``struct`` unpack, only
+    ever paid during run generation — the merge loop compares bytes).
+    """
+
+    __slots__ = ("key", "payload", "_value")
+
+    def __init__(
+        self, key: bytes, payload: bytes, value: Optional[float] = None
+    ) -> None:
+        self.key = key
+        self.payload = payload
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        v = self._value
+        if v is None:
+            v = self._value = keycodec.decode_float_key(self.key)
+        return v
+
+    def __iter__(self) -> Iterator[bytes]:
+        yield self.key
+        yield self.payload
+
+    def __getitem__(self, index: int) -> bytes:
+        return self.payload if index else self.key
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    # -- ordering: key bytes against peers, value against numbers -------------
+
+    def __lt__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key < other.key
+        if isinstance(other, (int, float)):
+            return self.value < other
+        return NotImplemented
+
+    def __le__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key <= other.key
+        if isinstance(other, (int, float)):
+            return self.value <= other
+        return NotImplemented
+
+    def __gt__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key > other.key
+        if isinstance(other, (int, float)):
+            return self.value > other
+        return NotImplemented
+
+    def __ge__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key >= other.key
+        if isinstance(other, (int, float)):
+            return self.value >= other
+        return NotImplemented
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key == other.key
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.key != other.key
+        if isinstance(other, (int, float)):
+            return self.value != other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    # -- arithmetic for the 2WRS numeric machinery ----------------------------
+
+    def __add__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.value + other.value
+        if isinstance(other, (int, float)):
+            return self.value + other
+        return NotImplemented
+
+    def __radd__(self, other: Any) -> Any:
+        if isinstance(other, (int, float)):
+            return other + self.value
+        return NotImplemented
+
+    def __sub__(self, other: Any) -> Any:
+        if isinstance(other, KeyOnlyRecord):
+            return self.value - other.value
+        if isinstance(other, (int, float)):
+            return self.value - other
+        return NotImplemented
+
+    def __rsub__(self, other: Any) -> Any:
+        if isinstance(other, (int, float)):
+            return other - self.value
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyOnlyRecord({self.key!r}, {self.payload!r})"
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (KeyOnlyRecord, (self.key, self.payload, self._value))
+
+
+class BinaryRecordFormat(RecordFormat):
+    """Wraps a base format so records carry pre-normalised byte keys.
+
+    A binary record is the pair ``(key_bytes, payload_bytes)``:
+    ``key_bytes`` is :func:`normalize_key` of the base sort key,
+    ``payload_bytes`` the base format's canonical encoded line as
+    UTF-8.  Python's tuple comparison then compares raw bytes — key
+    first, payload as the tie-break — which is exactly the text
+    path's ``(key, row text)`` order, so every downstream consumer
+    (run generation, the merge heap, shard cut points, the ops
+    operators) orders records with C-level ``bytes`` compares and
+    never decodes in a hot loop.
+
+    Two record shapes, one comparison contract — *match the base
+    format's order exactly*:
+
+    * int / str / delimited records are plain tuples.  For the
+      scalars the payload is determined by the key, so the tuple
+      tiebreak is a no-op; for delimited rows the text path itself
+      tiebreaks on the full row text, which is what the payload
+      bytes compare as.
+    * float records are :class:`KeyOnlyRecord`s (``record_factory``),
+      because equal float values with different spellings must stay
+      *equal* — see that class's docstring.
+
+    The wrapper speaks both boundaries:
+
+    * the *text* side (``decode``/``decode_block`` on input lines,
+      ``encode``/``encode_block`` back to output lines) normalises on
+      the way in and emits the stored payload untouched on the way
+      out, so a binary engine is a drop-in behind the same text
+      files;
+    * the *binary* side is handled by ``repro.engine.block_io``'s
+      length-prefixed ``RBLK`` framing (``spill_binary`` flags it),
+      which moves the tuples to and from spill files without any
+      re-encoding.
+
+    ``numeric`` mirrors 2WRS behaviour, not record shape.  For a
+    float base it is True — :class:`KeyOnlyRecord` answers the 2WRS
+    numeric machinery through its ``value``, so the binary path runs
+    the same configuration (and produces the same runs) as the text
+    path; this matters because equal float keys carry *distinct*
+    payloads, making run composition visible in the output.  For an
+    int base it stays False: tuples have no arithmetic, the planner
+    downgrades 2WRS to the order-based setup, and the differing run
+    boundaries are invisible because equal int keys always carry
+    identical payload bytes.
+    """
+
+    numeric = False
+    #: block_io routes files of this format through binary framing.
+    spill_binary = True
+
+    def __init__(self, base: RecordFormat) -> None:
+        if isinstance(base, BinaryRecordFormat):
+            base = base.base
+        self.base = base
+        self.name = f"bin[{base.name}]"
+        self.blank_input_skippable = base.blank_input_skippable
+        self.key_arity = base.key_arity
+        self._normalize = _key_normalizer(base)
+        self._denormalize = _key_denormalizer(base)
+        #: ``(key, payload) -> record``; None means a plain tuple.
+        #: block_io's binary reader rebuilds records through this, so
+        #: a spill round trip preserves the comparison semantics.
+        self.record_factory = (
+            KeyOnlyRecord if isinstance(base, FloatFormat) else None
+        )
+        if self.record_factory is not None:
+            self.numeric = True
+
+    # -- text side (input/output boundary) ------------------------------------
+
+    def decode(self, text: str) -> Any:
+        base = self.base
+        record = base.decode(text)
+        value = base.key(record)
+        key = self._normalize(value)
+        payload = base.encode(record).encode("utf-8")
+        if self.record_factory is not None:
+            # Pass the decoded key along so run generation's numeric
+            # machinery never has to re-derive it from the key bytes.
+            return self.record_factory(key, payload, float(value))
+        return (key, payload)
+
+    def encode(self, record: Any) -> str:
+        return record[1].decode("utf-8")
+
+    def decode_block(self, lines: Sequence[str]) -> List[Any]:
+        base = self.base
+        normalize, key, encode = self._normalize, base.key, base.encode
+        factory = self.record_factory
+        if factory is not None:
+            return [
+                factory(
+                    normalize(value := key(record)),
+                    encode(record).encode("utf-8"),
+                    float(value),
+                )
+                for record in base.decode_block(lines)
+            ]
+        return [
+            (normalize(key(record)), encode(record).encode("utf-8"))
+            for record in base.decode_block(lines)
+        ]
+
+    def encode_block(self, records: Sequence[Any]) -> str:
+        if not records:
+            return ""
+        payloads = b"\n".join([record[1] for record in records])
+        return (payloads + b"\n").decode("utf-8")
+
+    # -- keys and fields -------------------------------------------------------
+
+    def key(self, record: Any) -> bytes:
+        return record[0]
+
+    def base_record(self, record: Any) -> Any:
+        """The base format's record, re-decoded from the payload.
+
+        Output-stage helper for the ops operators (value extraction,
+        field projection); never called in a merge loop.
+        """
+        return self.base.decode(record[1].decode("utf-8"))
+
+    def fields(self, record: Any) -> List[str]:
+        return self.base.fields(self.base_record(record))
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Reconstruct through the constructor so spawn workers rebuild
+        # the codec closures (they are not picklable themselves).
+        return (BinaryRecordFormat, (self.base,))
+
+
+def binary_format(fmt: RecordFormat) -> BinaryRecordFormat:
+    """``fmt`` wrapped for binary spill (idempotent)."""
+    if isinstance(fmt, BinaryRecordFormat):
+        return fmt
+    return BinaryRecordFormat(fmt)
 
 
 #: Shared stateless instances (all formats are stateless and reusable).

@@ -37,10 +37,10 @@ threads only read and decode.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.records import RecordFormat
-from repro.engine.block_io import open_text, read_blocks, validate_block_records
+from repro.engine.block_io import open_run, read_blocks, validate_block_records
 from repro.engine.errors import SortError
 
 #: Strategy names accepted by :func:`open_reading` and the CLI.
@@ -103,7 +103,7 @@ class _RunSource:
     """
 
     __slots__ = ("run", "fmt", "block_records", "checksum", "skip_blank",
-                 "handle", "finished", "delivered", "_blocks")
+                 "binary", "handle", "finished", "delivered", "_blocks")
 
     def __init__(self, run: Any, fmt: RecordFormat, block_records: int) -> None:
         self.run = run
@@ -114,7 +114,10 @@ class _RunSource:
         self.checksum = bool(getattr(run, "checksum", False))
         #: Caller-provided merge inputs tolerate blank separator lines.
         self.skip_blank = bool(getattr(run, "skip_blank", False))
-        self.handle: Optional[TextIO] = None
+        #: ``None`` defers to the format's ``spill_binary`` flag;
+        #: :meth:`SortEngine.merge_files` pins ``False`` for user files.
+        self.binary = getattr(run, "binary", None)
+        self.handle: Optional[IO[Any]] = None
         self.finished = False
         self.delivered = 0
         self._blocks: Optional[Iterator[List[Any]]] = None
@@ -123,10 +126,11 @@ class _RunSource:
         if self.finished:
             return []
         if self.handle is None:
-            self.handle = open_text(self.run.path)
+            self.handle = open_run(self.run.path, "r", self.fmt, self.binary)
             self._blocks = read_blocks(
                 self.handle, self.fmt, self.block_records,
                 checksum=self.checksum, skip_blank=self.skip_blank,
+                binary=self.binary,
             )
         assert self._blocks is not None
         block = next(self._blocks, None)
@@ -292,6 +296,9 @@ class ForecastingReading(ReadingStrategy):
         if block is None:
             block = self._read(index)
         if block:
+            # One key() per *block* (the tail), not per record — the
+            # forecast needs it and it is outside the merge hot loop.
+            # repro: lint-waive R007 per-block forecast tail, not per-record
             self._tails[index] = self.fmt.key(block[-1])
         else:
             self._tails.pop(index, None)

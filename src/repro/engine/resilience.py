@@ -65,7 +65,7 @@ from typing import (
 from repro.core.records import INT, RecordFormat
 from repro.engine.block_io import (
     BlockWriter,
-    open_text,
+    open_run,
     validate_block_records,
     write_block_file,
 )
@@ -488,6 +488,12 @@ class ResumableSpillSort:
             "buffer_records": self.buffer_records,
             "checksum": self.checksum,
             "format": self.record_format.name,
+            # Binary and text run files are not mutually readable, so a
+            # resume across an encoding switch must wipe and start over.
+            "encoding": (
+                "binary" if getattr(self.record_format, "spill_binary", False)
+                else "text"
+            ),
             "input": self.input_fingerprint,
         }
 
@@ -698,7 +704,7 @@ class ResumableSpillSort:
                 )
             else:
                 path = self._merge_path(merge_id)
-                with open_text(path, "w") as handle:
+                with open_run(path, "w", self.record_format) as handle:
                     writer = BlockWriter(
                         handle,
                         self.record_format,

@@ -29,6 +29,7 @@ from repro.lint import (  # noqa: F401  (imported for registration)
     rules_broker,
     rules_determinism,
     rules_durability,
+    rules_hotloop,
     rules_pickle,
     rules_resource,
 )

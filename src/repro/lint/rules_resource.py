@@ -48,7 +48,7 @@ from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, rule
 
 #: Call targets whose result is a file handle needing custody.
-_OPENERS = ("open", "open_text")
+_OPENERS = ("open", "open_text", "open_bytes", "open_run")
 
 #: Packages whose record I/O must go through the open_text seam.
 _SEAM_PACKAGES = ("engine", "sort", "ops", "merge")
@@ -57,11 +57,12 @@ _SEAM_PACKAGES = ("engine", "sort", "ops", "merge")
 def _is_opener(call: ast.Call) -> bool:
     # Builtin ``open`` only as a bare name: ``fs.open(...)`` and
     # friends are domain methods (e.g. the iosim FileSystem), not file
-    # handles.  ``open_text`` counts however it is reached, including
-    # ``block_io.open_text(...)``.
+    # handles.  The block_io seam openers (``open_text`` and its
+    # binary/format-dispatching siblings ``open_bytes``/``open_run``)
+    # count however they are reached, e.g. ``block_io.open_text(...)``.
     if isinstance(call.func, ast.Name) and call.func.id == "open":
         return True
-    return last_component(call.func) == "open_text"
+    return last_component(call.func) in _OPENERS[1:]
 
 
 def _is_blockwriter(call: ast.Call) -> bool:

@@ -4,20 +4,25 @@ At each step the smallest of the k head records is selected (with a
 min-heap, so selection costs ``log2 k`` comparisons) and moved to the
 output.  When a stream empties the merge continues as a (k-1)-way merge,
 exactly as in the paper's worked example (Figures 2.1-2.3).
+
+The merge heap is :mod:`heapq` over ``(record, stream_index)`` entries
+— tuple comparison orders by record and breaks ties on the stream
+index, the same total order the explicit array heap used to compute
+through a Python ``before`` predicate.  Unlike the 2WRS
+:class:`~repro.heaps.double_heap.DoubleHeap` (which needs direct index
+arithmetic and keeps the paper's array layout), this heap has no
+structural role, and the C implementation keeps the per-record cost at
+one native comparison: for binary spill records that comparison is a
+raw ``bytes`` memcmp, which is the point of the whole binary path.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heapreplace
 from itertools import groupby
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.heaps.binary_heap import BinaryHeap
 from repro.runs.base import log_cost
-
-
-def _head_before(a: tuple, b: tuple) -> bool:
-    """Order merge-heap entries by key; the stream index breaks ties."""
-    return a[0] < b[0] or (a[0] == b[0] and a[1] < b[1])
 
 
 class MergeCounter:
@@ -78,7 +83,7 @@ def kway_merge(
             f"{len(streams)} streams exceed the declared fan_in {fan_in}"
         )
     iterators: List[Iterator[Any]] = [iter(s) for s in streams]
-    heap: BinaryHeap[tuple] = BinaryHeap(_head_before)
+    heap: List[tuple] = []
     exhausted: Iterator[Any] = iter(())
     try:
         for index, iterator in enumerate(iterators):
@@ -87,10 +92,11 @@ def kway_merge(
             except StopIteration:
                 iterators[index] = exhausted
                 continue
-            heap.push((head, index))
+            heap.append((head, index))
+        heapify(heap)
 
         while heap:
-            key, index = heap.peek()
+            key, index = heap[0]
             if counter is not None:
                 counter.records += 1
                 counter.cpu_ops += log_cost(len(heap))
@@ -102,9 +108,9 @@ def kway_merge(
                 # chunk it buffers) is freed as soon as its run is
                 # exhausted, not at the end of the whole merge.
                 iterators[index] = exhausted
-                heap.pop()
+                heappop(heap)
             else:
-                heap.replace((head, index))
+                heapreplace(heap, (head, index))
     finally:
         # One raising reader (or an abandoned merge) must not leak the
         # other streams' open file handles until garbage collection:

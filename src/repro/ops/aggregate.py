@@ -71,6 +71,14 @@ class GroupByAggregate:
         # Hoisted out of _ranked_value/_key_text: they run once per
         # record in the fold loop, the operator's hottest path.
         fmt = engine.record_format
+        # Under --binary-spill the stream carries (key bytes, payload)
+        # pairs; grouping stays on the raw key bytes (equal keys encode
+        # identically), but value extraction and key text need the
+        # decoded base record, so unwrap here and convert per record at
+        # the fold's output edge.
+        self._to_base = getattr(fmt, "base_record", None)
+        if self._to_base is not None:
+            fmt = fmt.base
         self._fmt = fmt
         self._delimited = isinstance(fmt, DelimitedFormat)
         needs_value = any(a != "count" for a in aggregates)
@@ -99,6 +107,8 @@ class GroupByAggregate:
     def _ranked_value(self, record: Any) -> Tuple[Tuple[int, Any], str]:
         """``(type-ranked value, original text)`` of one record's value."""
         fmt = self._fmt
+        if self._to_base is not None:
+            record = self._to_base(record)
         if self._delimited:
             text = fmt.project(record, (self.value_column,))[0]
             return _parse_key(text), text
@@ -108,6 +118,8 @@ class GroupByAggregate:
 
     def _key_text(self, record: Any) -> str:
         fmt = self._fmt
+        if self._to_base is not None:
+            record = self._to_base(record)
         if self._delimited:
             return self._delimiter.join(fmt.project(record, fmt.key_columns))
         return fmt.encode(record)

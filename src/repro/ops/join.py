@@ -28,8 +28,8 @@ import sys
 import tempfile
 from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.records import DelimitedFormat, RecordFormat
-from repro.engine.block_io import BlockWriter, iter_records, open_text
+from repro.core.records import BinaryRecordFormat, DelimitedFormat, RecordFormat
+from repro.engine.block_io import BlockWriter, iter_records, open_run
 from repro.engine.planner import plan_operator
 from repro.merge.kway import grouped
 from repro.ops.base import (
@@ -51,9 +51,38 @@ def _check_key_compatibility(left: RecordFormat, right: RecordFormat) -> None:
     of key columns.  Scalar sides must both be numeric or both be
     text — an int key against a str key would ``TypeError`` deep
     inside the merge loop.
+
+    Binary working formats must match on both sides (the zip compares
+    keys *across* the streams, and raw key bytes only compare against
+    raw key bytes).  Binary delimited keys share one component layout,
+    so any delimiter pair works; binary *scalar* layouts differ per
+    format (int header bytes vs the IEEE-754 map), so scalar sides
+    must use the same base format — ``int`` joined with ``float``
+    needs the text path, which compares their keys numerically.
     """
+    left_binary = isinstance(left, BinaryRecordFormat)
+    right_binary = isinstance(right, BinaryRecordFormat)
+    if left_binary != right_binary:
+        raise ValueError(
+            f"cannot join {left.name!r} with {right.name!r}: one side "
+            f"compares raw key bytes, the other decoded keys — enable "
+            f"binary spilling on both sides or neither"
+        )
+    if left_binary:
+        left = left.base
+        right = right.base
     left_delimited = isinstance(left, DelimitedFormat)
     right_delimited = isinstance(right, DelimitedFormat)
+    if (
+        left_binary
+        and not (left_delimited and right_delimited)
+        and left.name != right.name
+    ):
+        raise ValueError(
+            f"cannot join binary {left.name!r} with binary "
+            f"{right.name!r}: scalar key byte layouts differ per "
+            f"format; use matching formats or the text path"
+        )
     if left_delimited != right_delimited:
         raise ValueError(
             f"cannot join {left.name!r} with {right.name!r}: one side "
@@ -111,7 +140,7 @@ class _RightGroup:
                         prefix="repro-join-skew-", suffix=".txt", dir=tmp_dir
                     )
                     os.close(fd)
-                    handle = open_text(self.spill_path, "w")
+                    handle = open_run(self.spill_path, "w", fmt)
                     writer = BlockWriter(
                         handle, fmt, buffer_records, checksum=checksum
                     )
@@ -140,7 +169,7 @@ class _RightGroup:
     def __iter__(self) -> Iterator[Any]:
         yield from self.buffered
         if self.spill_path is not None:
-            with open_text(self.spill_path) as handle:
+            with open_run(self.spill_path, "r", self._fmt) as handle:
                 yield from iter_records(
                     handle, self._fmt, self._buffer_records,
                     checksum=self._checksum,
@@ -202,6 +231,15 @@ class SortMergeJoin:
         # operator's hottest loop.
         left_fmt = left_engine.record_format
         right_fmt = right_engine.record_format
+        # Under --binary-spill the streams carry (key bytes, payload)
+        # pairs; the zip advances on raw key bytes, and output assembly
+        # decodes back to the base record at the emission edge.
+        self._left_to_base = getattr(left_fmt, "base_record", None)
+        self._right_to_base = getattr(right_fmt, "base_record", None)
+        if self._left_to_base is not None:
+            left_fmt = left_fmt.base
+        if self._right_to_base is not None:
+            right_fmt = right_fmt.base
         self._left_fmt = left_fmt
         self._right_fmt = right_fmt
         self._delimited = isinstance(left_fmt, DelimitedFormat)
@@ -220,6 +258,8 @@ class SortMergeJoin:
 
     def _left_parts(self, left_record: Any) -> List[str]:
         """Output fields contributed by one left row (key first)."""
+        if self._left_to_base is not None:
+            left_record = self._left_to_base(left_record)
         if not self._delimited:
             return [self._left_fmt.encode(left_record)]
         left_fields = self._left_fmt.fields(left_record)
@@ -234,6 +274,8 @@ class SortMergeJoin:
     def _emit(self, left_parts: List[str], right_record: Any) -> str:
         if not self._delimited:
             return left_parts[0]
+        if self._right_to_base is not None:
+            right_record = self._right_to_base(right_record)
         out = left_parts + [
             field
             for index, field in enumerate(self._right_fmt.fields(right_record))
@@ -244,6 +286,8 @@ class SortMergeJoin:
     def _describe_key(self, right_record: Any) -> str:
         """The user-visible key text of a right record (skew warning)."""
         fmt = self._right_fmt
+        if self._right_to_base is not None:
+            right_record = self._right_to_base(right_record)
         if isinstance(fmt, DelimitedFormat):
             return fmt.delimiter.join(
                 fmt.project(right_record, fmt.key_columns)

@@ -37,8 +37,8 @@ from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import GeneratorSpec
-from repro.core.records import RecordFormat
-from repro.engine.block_io import BlockWriter, iter_records, open_text
+from repro.core.records import KeyOnlyRecord, RecordFormat
+from repro.engine.block_io import BlockWriter, iter_records, open_run
 from repro.engine.errors import SortError
 from repro.engine.merge_reading import validate_reading
 from repro.merge.kway import MergeCounter, validate_merge_params
@@ -93,13 +93,23 @@ def hash_shard(
     Numeric records use ``hash()`` (seed-independent for numbers; the
     Fibonacci multiply scrambles the small-int identity mapping that
     would otherwise turn consecutive keys into ``key % workers``
-    patterns).  Everything else — strings, delimited-row tuples —
+    patterns).  Key-only binary records (float spill) hash the float
+    their key encodes, which reproduces the text path's shard
+    assignment *record for record* — worker-local sorts are not
+    stable, so equal keys with distinct spellings (``1e3`` vs
+    ``1000.0``) only keep the text path's relative order if every
+    worker sees exactly the same shard either way.  Everything else —
+    strings, delimited-row tuples, tuple-shaped binary records —
     hashes ``crc32`` of its *encoded* line instead, because ``hash()``
     on text depends on ``PYTHONHASHSEED`` and would make shard sizes
     (and the ``shards=[...]`` report) differ on every invocation.
+    (Tuple-shaped binary delimited records hash their payload — the
+    encoded line — so they, too, shard exactly like the text path.)
     """
     if isinstance(record, (int, float)):
         h = hash(record)
+    elif isinstance(record, KeyOnlyRecord):
+        h = hash(record.value)
     else:
         h = zlib.crc32(encode(record).encode("utf-8"))
     return (((h * _FIB64) & _MASK64) >> 40) % workers
@@ -140,8 +150,12 @@ def _read_encoded(
     verifies the per-block headers the parent wrote (DESIGN.md §11),
     so a partition file corrupted between parent and worker fails
     loudly in the worker instead of poisoning its shard.
+
+    Under a binary working format the partition files themselves are
+    length-prefixed binary blocks (shard transfer never decodes), so
+    the opener and reader both defer to the format's framing.
     """
-    with open_text(path) as handle:
+    with open_run(path, "r", record_format) as handle:
         yield from iter_records(
             handle, record_format, buffer_records, checksum=checksum
         )
@@ -541,6 +555,13 @@ class PartitionedSort:
             "buffer_records": self.buffer_records,
             "checksum": self.checksum,
             "format": self.record_format.name,
+            # Binary and text spill files are not mutually readable, so
+            # a resume across an encoding switch must start fresh even
+            # though every other knob matches.
+            "encoding": (
+                "binary" if getattr(self.record_format, "spill_binary", False)
+                else "text"
+            ),
             "input": self.input_fingerprint,
         }
 
@@ -568,7 +589,7 @@ class PartitionedSort:
         handles: List[Any] = []
         try:
             for path in paths:
-                handles.append(open_text(path, "w"))
+                handles.append(open_run(path, "w", self.record_format))
             writers = [
                 BlockWriter(
                     handle, self.record_format, block_records,

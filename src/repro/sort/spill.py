@@ -37,7 +37,7 @@ from repro.core.records import INT, CallableFormat, RecordFormat
 from repro.engine.errors import SortError
 from repro.engine.block_io import (
     BlockWriter,
-    open_text,
+    open_run,
     read_blocks,
     write_sequence,
 )
@@ -151,12 +151,18 @@ class SpilledRun:
         keep: bool = False,
         checksum: Optional[bool] = None,
         skip_blank: bool = False,
+        binary: Optional[bool] = None,
     ) -> None:
         self._session = session
         self.path = path
         self.length = length
         self.record_format = record_format
         self.buffer_records = buffer_records
+        #: Per-run framing override: caller-provided merge inputs are
+        #: text files even when the engine's working format spills
+        #: binary (its text-side codec decodes them); ``None`` defers
+        #: to the format's ``spill_binary`` flag.
+        self.binary = binary
         #: True for caller-owned files the merge must not delete
         #: (:meth:`SortEngine.merge_files` inputs) and for journaled
         #: durable runs, which only their resilience layer may delete.
@@ -189,10 +195,13 @@ class SpilledRun:
         delivered = 0
         session.reader_opened()
         try:
-            with open_text(self.path) as handle:
+            with open_run(
+                self.path, "r", self.record_format, self.binary
+            ) as handle:
                 for chunk in read_blocks(
                     handle, self.record_format, self.buffer_records,
                     checksum=self.checksum, skip_blank=self.skip_blank,
+                    binary=self.binary,
                 ):
                     delivered += len(chunk)
                     session.buffer_grew(len(chunk))
@@ -235,7 +244,7 @@ def merge_group_to_file(
     the engine's file merge.
     """
     path = session.spill_path()
-    with open_text(path, "w") as out:
+    with open_run(path, "w", record_format) as out:
         writer = BlockWriter(
             out, record_format, buffer_records, checksum=session.checksum
         )
@@ -467,7 +476,7 @@ class FileSpillSort:
         both required before a durable completion marker may be
         written for the file.
         """
-        with open_text(path, "w") as out:
+        with open_run(path, "w", self.record_format) as out:
             writer = BlockWriter(
                 out, self.record_format, self.buffer_records,
                 checksum=self.checksum, track_crc=track_crc,

@@ -183,13 +183,24 @@ def _flip_char(text: str) -> str:
     return text
 
 
-class FaultyFile:
-    """TextIO proxy that applies the active plan to one file's calls.
+def _flip_byte(data: bytes) -> bytes:
+    """Corrupt one payload byte (binary twin of :func:`_flip_char`)."""
+    if not data:
+        return data
+    flipped = 0x30 if data[0] != 0x30 else 0x39
+    return bytes((flipped,)) + data[1:]
 
-    Wraps a real handle; reads are counted per line handed out
-    (``__next__``, which is how every block reader consumes files) and
-    writes per ``write()`` call (one buffered block or checksum header
-    each).  Everything else is forwarded untouched.
+
+class FaultyFile:
+    """File proxy that applies the active plan to one file's calls.
+
+    Wraps a real handle — text or binary, the seam passes both
+    through here.  Text reads are counted per line handed out
+    (``__next__``, which is how the text block readers consume files);
+    binary reads per ``read()`` call (the binary reader makes exactly
+    two per block: header, then body).  Writes are counted per
+    ``write()`` call (one buffered block, checksum header, or binary
+    header/body each).  Everything else is forwarded untouched.
     """
 
     def __init__(self, handle: TextIO, path: str, state: FaultState) -> None:
@@ -201,7 +212,7 @@ class FaultyFile:
 
     # -- faulted operations ----------------------------------------------------
 
-    def write(self, text: str) -> int:
+    def write(self, text: Any) -> int:
         state = self._state
         if state.truncating and state.plan.path_substring in self._path:
             return len(text)
@@ -220,11 +231,34 @@ class FaultyFile:
                     f"on {self._path!r}"
                 )
             if kind == "bit_flip":
-                return self._handle.write(_flip_char(text))
+                flip = _flip_byte if isinstance(text, bytes) else _flip_char
+                return self._handle.write(flip(text))
             if kind == "truncate":
                 state.truncating = True
                 return len(text)
         return self._handle.write(text)
+
+    def read(self, size: int = -1) -> Any:
+        """Counted binary-style read (one block header or body each)."""
+        if self._read_eof:
+            return b"" if "b" in getattr(self._handle, "mode", "") else ""
+        data = self._handle.read(size)
+        state = self._state
+        if state.due("read", self._path):
+            kind = state.plan.kind
+            if kind in ("raise", "short_write"):
+                raise FaultInjected(
+                    f"injected read fault ({state.plan.describe()}) "
+                    f"on {self._path!r}"
+                )
+            if kind == "bit_flip":
+                return _flip_byte(data) if isinstance(data, bytes) else (
+                    _flip_char(data)
+                )
+            if kind == "truncate":
+                self._read_eof = True
+                return data[:0]
+        return data
 
     def __next__(self) -> str:
         if self._read_eof:

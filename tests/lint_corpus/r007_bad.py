@@ -1,0 +1,10 @@
+# repro-lint-corpus: src/repro/merge/kway.py
+# expect: R007:9
+# expect: R007:10
+"""Known-bad: per-record decoding inside the k-way merge loop."""
+
+
+def merge_step(fmt, heap, out):
+    while heap:
+        record = fmt.decode(heap.pop())
+        out.append(fmt.key(record))

@@ -1,0 +1,11 @@
+# repro-lint-corpus: src/repro/merge/kway.py
+# expect: none
+"""Known-good: the merge loop compares raw bytes; per-block work is
+waived with its reason."""
+
+
+def merge_step(fmt, heap, out, tails, block):
+    while heap:
+        out.append(heap.pop())
+    # repro: lint-waive R007 per-block forecast tail, not per-record
+    tails.append(fmt.key(block[-1]))

@@ -125,17 +125,23 @@ def gnu_reference(source, fmt):
 
 
 def run_differential_case(
-    tmp_path, fmt, *, memory=64, reading="auto", workers=1, records=2_000
+    tmp_path, fmt, *, memory=64, reading="auto", workers=1, records=2_000,
+    binary=False,
 ):
-    case = dict(fmt=fmt, memory=memory, reading=reading, workers=workers)
+    case = dict(
+        fmt=fmt, memory=memory, reading=reading, workers=workers,
+        binary=binary,
+    )
     source = write_corpus(tmp_path, fmt, records, memory, reading, workers)
-    out = tmp_path / f"{fmt}.out"
+    out = tmp_path / f"{fmt}{'.bin' if binary else ''}.out"
     argv = ["sort", "--memory", str(memory), "--fan-in", "4",
             *cli_format_args(fmt)]
     if reading != "auto":
         argv += ["--reading", reading]
     if workers > 1:
         argv += ["--workers", str(workers)]
+    if binary:
+        argv += ["--binary-spill"]
     argv += [str(source), "-o", str(out)]
     assert main(argv) == 0, stress_case(**case)
 
@@ -177,6 +183,14 @@ class TestDifferentialSmoke:
         parallel = run_differential_case(tmp_path, "int", workers=2)
         assert sha256_file(serial) == sha256_file(parallel)
 
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_binary_spill_matches_text_and_oracles(self, tmp_path, fmt):
+        """--binary-spill output equals the text path's byte for byte
+        (both already checked against sorted() and GNU sort)."""
+        text = run_differential_case(tmp_path, fmt)
+        binary = run_differential_case(tmp_path, fmt, binary=True)
+        assert sha256_file(text) == sha256_file(binary)
+
 
 @pytest.mark.stress
 class TestDifferentialStress:
@@ -198,13 +212,30 @@ class TestDifferentialStress:
             tmp_path, fmt, memory=128, workers=2, records=6_000
         )
 
+    @pytest.mark.parametrize("memory", [32, 4_096])
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_binary_sweep(self, tmp_path, fmt, workers, memory):
+        """Binary and text paths stay byte-identical under stress."""
+        text = run_differential_case(
+            tmp_path, fmt, memory=memory, workers=workers, records=6_000
+        )
+        binary = run_differential_case(
+            tmp_path, fmt, memory=memory, workers=workers, records=6_000,
+            binary=True,
+        )
+        assert sha256_file(text) == sha256_file(binary)
+
+    @pytest.mark.parametrize("binary", [False, True])
     @pytest.mark.parametrize("fmt", ["int", "csv"])
-    def test_durable_checksummed_sweep(self, tmp_path, fmt):
+    def test_durable_checksummed_sweep(self, tmp_path, fmt, binary):
         """--resume --checksum must not change a fault-free sort's bytes."""
         source = write_corpus(tmp_path, fmt, 4_000, "durable")
         plain = tmp_path / "plain.out"
         durable = tmp_path / "durable.out"
         base = ["sort", "--memory", "64", *cli_format_args(fmt)]
+        if binary:
+            base += ["--binary-spill"]
         assert main(base + [str(source), "-o", str(plain)]) == 0
         assert main(
             base + ["--resume", "--checksum", str(source), "-o", str(durable)]

@@ -297,14 +297,19 @@ def format_args(fmt):
     )
 
 
-def run_matrix_case(tmp_path, fmt, workers, plan, records=600, memory=16):
+def run_matrix_case(
+    tmp_path, fmt, workers, plan, records=600, memory=16, binary=False,
+):
     """One acceptance check: faulted run fails cleanly, resume matches."""
-    case = dict(fmt=fmt, workers=workers, plan=plan.describe())
+    case = dict(fmt=fmt, workers=workers, plan=plan.describe(),
+                binary=binary)
     source = make_corpus(tmp_path, fmt, records, workers)
     base = ["sort", "--memory", str(memory), "--fan-in", "4",
             "--merge-buffer", "8", *format_args(fmt)]
     if workers > 1:
         base += ["--workers", str(workers)]
+    if binary:
+        base += ["--binary-spill"]
     ref = tmp_path / "ref.txt"
     assert main(base + [str(source), "-o", str(ref)]) == 0, stress_case(**case)
 
@@ -370,22 +375,36 @@ class TestFaultMatrixSmoke:
     def test_parallel_killed_worker(self, tmp_path):
         run_matrix_case(tmp_path, "int", 2, PARALLEL_FAULTS[0])
 
+    def test_serial_binary_run_fault(self, tmp_path):
+        """Binary RBLK runs recover exactly like text runs."""
+        run_matrix_case(tmp_path, "int", 1, SERIAL_FAULTS[0], binary=True)
+
+    def test_serial_binary_bit_flip(self, tmp_path):
+        """A flipped byte inside an RBLK body is caught by the header
+        CRC and the poisoned run is regenerated on resume."""
+        run_matrix_case(tmp_path, "csv", 1, SERIAL_FAULTS[4], binary=True)
+
+    def test_parallel_binary_shard_fault(self, tmp_path):
+        run_matrix_case(tmp_path, "int", 2, PARALLEL_FAULTS[0], binary=True)
+
 
 @pytest.mark.stress
 class TestFaultMatrixStress:
     """The full sweep: every fault point x backend x format."""
 
+    @pytest.mark.parametrize("binary", [False, True], ids=["text", "bin"])
     @pytest.mark.parametrize("fmt", ["int", "str", "csv"])
     @pytest.mark.parametrize("plan", SERIAL_FAULTS,
                              ids=lambda p: p.describe())
-    def test_serial(self, tmp_path, fmt, plan):
-        run_matrix_case(tmp_path, fmt, 1, plan)
+    def test_serial(self, tmp_path, fmt, plan, binary):
+        run_matrix_case(tmp_path, fmt, 1, plan, binary=binary)
 
+    @pytest.mark.parametrize("binary", [False, True], ids=["text", "bin"])
     @pytest.mark.parametrize("fmt", ["int", "str", "csv"])
     @pytest.mark.parametrize("plan", PARALLEL_FAULTS,
                              ids=lambda p: p.describe())
-    def test_parallel(self, tmp_path, fmt, plan):
-        run_matrix_case(tmp_path, fmt, 2, plan)
+    def test_parallel(self, tmp_path, fmt, plan, binary):
+        run_matrix_case(tmp_path, fmt, 2, plan, binary=binary)
 
 
 class TestCleanFailureWithoutDurability:

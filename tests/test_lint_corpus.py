@@ -65,7 +65,7 @@ def test_corpus_file_matches_expectations(name):
 
 
 def test_corpus_covers_every_rule_both_ways():
-    """Each of R001–R006 has at least one bad and one good fixture."""
+    """Each of R001–R007 has at least one bad and one good fixture."""
     bad_rules = set()
     good_only = []
     for name in corpus_files():
@@ -74,7 +74,7 @@ def test_corpus_covers_every_rule_both_ways():
             bad_rules.update(rule for rule, _ in expected)
         else:
             good_only.append(name)
-    for number in range(1, 7):
+    for number in range(1, 8):
         rule = f"R00{number}"
         assert rule in bad_rules, f"no known-bad corpus case for {rule}"
         assert any(
