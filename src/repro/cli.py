@@ -73,6 +73,7 @@ from repro.engine.errors import SortError
 from repro.engine.merge_reading import READING_STRATEGIES
 from repro.engine.resilience import JOURNAL_NAME
 from repro.engine.planner import AUTO_READING, SortEngine, spec_for_format
+from repro.engine.spill_codec import AUTO_CODEC, SPILL_CODECS
 from repro.experiments import EXPERIMENTS
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.ops import (
@@ -198,6 +199,7 @@ def _engine_for(
         block_records=args.block_records,
         reading=args.reading,
         checksum=args.checksum,
+        spill_codec=getattr(args, "spill_codec", "none"),
         work_dir=work_dir,
         input_fingerprint=fingerprint,
     )
@@ -726,6 +728,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "the merge heap compares raw bytes instead of "
                             "decoded records; output is byte-identical to "
                             "the text path (DESIGN.md §14)")
+        p.add_argument("--spill-codec",
+                       choices=(AUTO_CODEC,) + SPILL_CODECS,
+                       default="none",
+                       help="per-block compression of spill/shard files "
+                            "(DESIGN.md §15): 'zlib'/'lzma' are byte "
+                            "compressors, 'front' delta-codes shared "
+                            "record prefixes (near-free on sorted runs, "
+                            "strongest with --binary-spill keys), "
+                            "'front+zlib' stacks both; 'auto' lets the "
+                            "planner trade CPU for I/O from the input "
+                            "size and memory budget (default none)")
         p.add_argument("--checksum", action="store_true",
                        help="write per-block CRC-32 headers into every "
                             "spill/shard file and verify them during the "

@@ -39,6 +39,20 @@ silently misread (ISSUE 7 satellite 3 and tentpole):
   carries the record count, body length and body CRC-32, and each
   record inside the body is length-prefixed (key bytes, then payload
   bytes), so payload content can never collide with framing at all.
+
+A third framing carries *compressed* spill blocks (DESIGN.md §15): any
+codec other than ``"none"`` (see :mod:`repro.engine.spill_codec`)
+wraps each block in an ``RBLC`` header — magic, codec id, record
+count, raw body length, stored body length, CRC-32 of the stored
+bytes — followed by the codec-encoded body.  The raw body inside is
+exactly what the uncompressed path would have written (encoded text
+lines, or the RBLK-style length-prefixed records), so the same block
+parsers run after one block-at-a-time decode.  Unlike the text/RBLK
+framings, the RBLC CRC is *always* verified: a compressed body has no
+internal redundancy, so a single flipped bit would otherwise either
+explode in the decompressor with no file context or (front coding)
+silently rewrite records; one C-level ``crc32`` per block buys
+deterministic ``CorruptBlockError`` offsets instead.
 """
 
 from __future__ import annotations
@@ -52,6 +66,14 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, TextIO, Tu
 
 from repro.core.records import RecordFormat
 from repro.engine.errors import CorruptBlockError
+from repro.engine.spill_codec import (
+    CODEC_IDS,
+    CODEC_NAMES,
+    SpillCodecError,
+    compress_body,
+    decompress_body,
+    validate_codec,
+)
 
 #: Records moved per encode/decode batch by default.  Also the default
 #: merge read-buffer size (one buffer holds one block).
@@ -80,6 +102,17 @@ _BINARY_HEADER = struct.Struct(f">{len(BINARY_BLOCK_MAGIC)}sIII")
 
 #: Per-record length prefix inside a binary block body.
 _RECORD_LEN = struct.Struct(">I")
+
+#: Magic leading every compressed block (DESIGN.md §15).
+COMPRESSED_BLOCK_MAGIC = b"RBLC"
+
+#: Compressed block header: magic, codec id, record count, raw body
+#: length, stored body length, CRC-32 of the *stored* bytes.  The CRC
+#: sits in front of the decompressor on purpose — it is always
+#: verified (unlike the opt-in text/RBLK checksums), because corrupt
+#: compressed bytes would otherwise fail with no file context, or
+#: worse, front-decode to plausible garbage.
+_COMPRESSED_HEADER = struct.Struct(f">{len(COMPRESSED_BLOCK_MAGIC)}sBIIII")
 
 #: Installed by :func:`set_io_wrapper`; wraps every handle that
 #: :func:`open_text` returns.  ``None`` = no wrapping (production).
@@ -158,9 +191,15 @@ def open_run(
     mode: str,
     fmt: RecordFormat,
     binary: Optional[bool] = None,
+    codec: str = "none",
 ) -> Any:
-    """Open a run/shard/partition file in ``fmt``'s framing mode."""
-    if wants_binary(fmt, binary):
+    """Open a run/shard/partition file in ``fmt``'s framing mode.
+
+    Any codec other than ``"none"`` forces byte mode regardless of the
+    format: compressed blocks are RBLC-framed binary whatever the raw
+    body inside them looks like.
+    """
+    if codec != "none" or wants_binary(fmt, binary):
         return open_bytes(path, mode)
     return open_text(path, mode)
 
@@ -382,6 +421,118 @@ def _read_binary_blocks(
         yield block
 
 
+def _decode_text_body(
+    fmt: RecordFormat,
+    body: bytes,
+    count: int,
+    path: str,
+    index: int,
+    offset: int,
+) -> List[Any]:
+    """Parse a decompressed text body exactly like a text-mode read.
+
+    Lines are split on ``"\\n"`` only — ``str.splitlines`` would also
+    break on ``\\x85``/``\\u2028``-style boundaries that a text-mode
+    file read (universal newlines) treats as record content.
+    """
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"decompressed block body is not valid UTF-8: {exc}",
+        ) from None
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    block = fmt.decode_block([line + "\n" for line in lines])
+    if len(block) != count:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"decompressed block decodes to {len(block)} record(s), "
+            f"header promised {count}",
+        )
+    return block
+
+
+def _read_compressed_blocks(
+    handle: Any,
+    fmt: RecordFormat,
+    codec: str,
+    binary: bool,
+    factory: Optional[Any] = None,
+) -> Iterator[List[Any]]:
+    """Read RBLC-framed compressed blocks: two ``read()`` calls each.
+
+    The stored-body CRC is always verified (see the header comment on
+    :data:`_COMPRESSED_HEADER`), so a bit flip anywhere inside a
+    compressed body raises :class:`~repro.engine.errors.
+    CorruptBlockError` with the file, block index and byte offset
+    before the decompressor ever sees the bytes.
+    """
+    path = getattr(handle, "name", "<stream>")
+    header_size = _COMPRESSED_HEADER.size
+    expected_id = CODEC_IDS[codec]
+    offset = 0
+    index = 0
+    while True:
+        header = handle.read(header_size)
+        if not header:
+            return
+        if len(header) < header_size:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"truncated compressed block header: {len(header)} of "
+                f"{header_size} bytes — file was torn mid-write",
+            )
+        magic, codec_id, count, raw_len, stored_len, want_crc = (
+            _COMPRESSED_HEADER.unpack(header)
+        )
+        if magic != COMPRESSED_BLOCK_MAGIC:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"bad compressed block magic {magic!r} — file is torn "
+                f"or is not a compressed spill file",
+            )
+        if codec_id != expected_id:
+            found = CODEC_NAMES.get(codec_id, f"unknown id {codec_id}")
+            raise CorruptBlockError(
+                path, index, offset,
+                f"block was written with codec {found!r} but the reader "
+                f"expects {codec!r} — spill codecs must not mix within "
+                f"one file",
+            )
+        stored = handle.read(stored_len)
+        if len(stored) < stored_len:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"truncated compressed block: header declares "
+                f"{stored_len} stored bytes, file ends after "
+                f"{len(stored)}",
+            )
+        got_crc = zlib.crc32(stored)
+        if got_crc != want_crc:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"checksum mismatch: header says {want_crc:08x}, stored "
+                f"bytes hash to {got_crc:08x} — block was corrupted on "
+                f"disk or torn mid-write",
+            )
+        try:
+            body = decompress_body(codec, stored, raw_len, count)
+        except SpillCodecError as exc:
+            raise CorruptBlockError(path, index, offset, str(exc)) from None
+        if binary:
+            block = _unpack_binary_block(
+                body, count, path, index, offset, factory
+            )
+        else:
+            block = _decode_text_body(fmt, body, count, path, index, offset)
+        offset += header_size + stored_len
+        index += 1
+        yield block
+
+
 def read_blocks(
     handle: TextIO,
     fmt: RecordFormat,
@@ -389,6 +540,7 @@ def read_blocks(
     checksum: bool = False,
     skip_blank: bool = False,
     binary: Optional[bool] = None,
+    codec: str = "none",
 ) -> Iterator[List[Any]]:
     """Yield decoded blocks of exactly ``block_records`` records (last
     block may be short).
@@ -415,8 +567,22 @@ def read_blocks(
     ``spill_binary`` flag.  Binary blocks are self-describing like
     checksummed text blocks, so ``block_records`` and ``skip_blank``
     do not apply.
+
+    A ``codec`` other than ``"none"`` reads the RBLC compressed
+    framing (handle must come from :func:`open_bytes`); block sizes
+    are self-describing and the stored-body CRC is always verified,
+    so ``block_records``, ``checksum`` and ``skip_blank`` do not
+    apply.  The codec must match the one the file was written with —
+    a mismatched block raises ``CorruptBlockError``.
     """
     validate_block_records(block_records)
+    if codec != "none":
+        validate_codec(codec)
+        yield from _read_compressed_blocks(
+            handle, fmt, codec, wants_binary(fmt, binary),
+            getattr(fmt, "record_factory", None),
+        )
+        return
     if wants_binary(fmt, binary):
         yield from _read_binary_blocks(
             handle, checksum, getattr(fmt, "record_factory", None)
@@ -443,6 +609,7 @@ def iter_records(
     skip_blank: bool = False,
     checksum: bool = False,
     binary: Optional[bool] = None,
+    codec: str = "none",
 ) -> Iterator[Any]:
     """Stream individual records, decoded block-at-a-time.
 
@@ -457,11 +624,18 @@ def iter_records(
 
     ``checksum`` reads a per-block-checksummed file (see
     :func:`read_blocks`); blank-line tolerance never applies there
-    because such files are always machine-written.  ``binary``
-    overrides the format's framing choice exactly as in
-    :func:`read_blocks`.
+    because such files are always machine-written.  ``binary`` and
+    ``codec`` select the framing exactly as in :func:`read_blocks`.
     """
     validate_block_records(block_records)
+    if codec != "none":
+        validate_codec(codec)
+        for block in _read_compressed_blocks(
+            handle, fmt, codec, wants_binary(fmt, binary),
+            getattr(fmt, "record_factory", None),
+        ):
+            yield from block
+        return
     if wants_binary(fmt, binary):
         for block in _read_binary_blocks(
             handle, checksum, getattr(fmt, "record_factory", None)
@@ -506,6 +680,7 @@ class BlockWriter:
         checksum: bool = False,
         track_crc: bool = False,
         binary: Optional[bool] = None,
+        codec: str = "none",
     ) -> None:
         validate_block_records(block_records)
         self._handle = handle
@@ -516,11 +691,21 @@ class BlockWriter:
         #: Length-prefixed binary framing (handle from ``open_bytes``);
         #: ``None`` defers to the format's ``spill_binary`` flag.
         self._binary = wants_binary(fmt, binary)
+        #: Spill codec; anything but "none" writes RBLC-framed blocks
+        #: (handle must come from ``open_bytes``) whose raw body uses
+        #: the format's framing (text lines or binary records).
+        self._codec = validate_codec(codec)
         self._pending: List[Any] = []
         #: Total records written (including still-buffered ones).
         self.written = 0
         #: Running CRC-32 of all bytes written (when tracking is on).
         self.file_crc = 0
+        #: Encoded record bytes before codec framing (what the
+        #: uncompressed path would have written; characters for the
+        #: plain-text path, where ASCII makes the two agree).
+        self.raw_bytes = 0
+        #: Bytes actually written, framing included.
+        self.disk_bytes = 0
 
     def write(self, record: Any) -> None:
         self._pending.append(record)
@@ -543,6 +728,9 @@ class BlockWriter:
     def flush(self) -> None:
         if not self._pending:
             return
+        if self._codec != "none":
+            self._flush_compressed()
+            return
         if self._binary:
             body = _pack_binary_block(self._pending)
             header = _BINARY_HEADER.pack(
@@ -555,6 +743,8 @@ class BlockWriter:
                 self.file_crc = zlib.crc32(
                     body, zlib.crc32(header, self.file_crc)
                 )
+            self.raw_bytes += len(header) + len(body)
+            self.disk_bytes += len(header) + len(body)
             self._pending.clear()
             return
         text = self._fmt.encode_block(self._pending)
@@ -562,6 +752,8 @@ class BlockWriter:
             # Only checksummed files carry header lines, so only they
             # need data lines disambiguated from headers (satellite 3).
             text = _escape_block(text)
+        self.raw_bytes += len(text)
+        self.disk_bytes += len(text)
         if self._track_crc:
             data = text.encode("utf-8")
             block_crc = zlib.crc32(data)
@@ -571,10 +763,51 @@ class BlockWriter:
                 self.file_crc = zlib.crc32(
                     header.encode("utf-8"), self.file_crc
                 )
+                self.raw_bytes += len(header)
+                self.disk_bytes += len(header)
             self.file_crc = zlib.crc32(data, self.file_crc)
         self._handle.write(text)
         # Cleared in place: write_all holds a local alias.
         self._pending.clear()
+
+    def _flush_compressed(self) -> None:
+        """Write one RBLC-framed block under the configured codec."""
+        pending = self._pending
+        parts: Sequence[bytes]
+        if self._binary:
+            pack = _RECORD_LEN.pack
+            parts = [
+                pack(len(key)) + key + pack(len(payload)) + payload
+                for key, payload in pending
+            ]
+            body = b"".join(parts)
+        else:
+            body = self._fmt.encode_block(pending).encode("utf-8")
+            # Per-record byte strings are only needed by front coding.
+            parts = (
+                body.splitlines(keepends=True)
+                if self._codec in ("front", "front+zlib")
+                else ()
+            )
+        stored = compress_body(self._codec, body, parts)
+        header = _COMPRESSED_HEADER.pack(
+            COMPRESSED_BLOCK_MAGIC, CODEC_IDS[self._codec], len(pending),
+            len(body), len(stored), zlib.crc32(stored),
+        )
+        self._handle.write(header)
+        self._handle.write(stored)
+        if self._track_crc:
+            self.file_crc = zlib.crc32(
+                stored, zlib.crc32(header, self.file_crc)
+            )
+        # ``raw`` is what the codec=none path would have written for
+        # this block — body plus, for binary framing, its RBLK header —
+        # so ratios compare like against like across codec settings.
+        self.raw_bytes += len(body)
+        if self._binary:
+            self.raw_bytes += _BINARY_HEADER.size
+        self.disk_bytes += len(header) + len(stored)
+        pending.clear()
 
 
 def write_sequence(
@@ -583,22 +816,37 @@ def write_sequence(
     fmt: RecordFormat,
     block_records: int = DEFAULT_BLOCK_RECORDS,
     checksum: bool = False,
+    codec: str = "none",
+    session: Optional[Any] = None,
 ) -> int:
     """Write a whole record source to ``path`` in blocks; returns length.
 
     A materialised sequence (e.g. one generated run — the spill-file
     fast path) is sliced directly into encode batches; any other
-    iterable (or any checksummed write) streams through a
-    :class:`BlockWriter`.  Binary-spill formats take the binary
-    framing automatically (their headers always carry the CRC, so the
-    fast path applies to checksummed binary writes too).
+    iterable (or any checksummed or codec-compressed write) streams
+    through a :class:`BlockWriter`.  Binary-spill formats take the
+    binary framing automatically (their headers always carry the CRC,
+    so the fast path applies to checksummed binary writes too).
+
+    ``session`` (a :class:`~repro.sort.spill.SpillSession` or anything
+    with a ``spilled(raw_bytes, disk_bytes)`` method) receives the
+    write's byte accounting, so spill-traffic totals survive even the
+    fast paths.
     """
     validate_block_records(block_records)
+    validate_codec(codec)
     binary = wants_binary(fmt)
-    with open_run(path, "w", fmt) as handle:
-        if isinstance(records, Sequence) and (binary or not checksum):
+    raw_bytes = 0
+    disk_bytes = 0
+    with open_run(path, "w", fmt, codec=codec) as handle:
+        if (
+            codec == "none"
+            and isinstance(records, Sequence)
+            and (binary or not checksum)
+        ):
             if binary:
                 pack = _BINARY_HEADER.pack
+                header_size = _BINARY_HEADER.size
                 for start in range(0, len(records), block_records):
                     chunk = records[start : start + block_records]
                     body = _pack_binary_block(chunk)
@@ -607,16 +855,24 @@ def write_sequence(
                         zlib.crc32(body),
                     ))
                     handle.write(body)
-                return len(records)
-            encode_block = fmt.encode_block
-            for start in range(0, len(records), block_records):
-                handle.write(
-                    encode_block(records[start : start + block_records])
-                )
+                    disk_bytes += header_size + len(body)
+            else:
+                encode_block = fmt.encode_block
+                for start in range(0, len(records), block_records):
+                    text = encode_block(records[start : start + block_records])
+                    handle.write(text)
+                    disk_bytes += len(text)
+            if session is not None:
+                session.spilled(disk_bytes, disk_bytes)
             return len(records)
-        writer = BlockWriter(handle, fmt, block_records, checksum=checksum)
+        writer = BlockWriter(
+            handle, fmt, block_records, checksum=checksum, codec=codec
+        )
         writer.write_all(records)
         writer.flush()
+        raw_bytes, disk_bytes = writer.raw_bytes, writer.disk_bytes
+    if session is not None:
+        session.spilled(raw_bytes, disk_bytes)
     return writer.written
 
 
@@ -627,6 +883,8 @@ def write_block_file(
     block_records: int = DEFAULT_BLOCK_RECORDS,
     checksum: bool = False,
     fsync: bool = False,
+    codec: str = "none",
+    session: Optional[Any] = None,
 ) -> Tuple[int, int]:
     """Durable single-file write; returns ``(record_count, file_crc32)``.
 
@@ -636,16 +894,20 @@ def write_block_file(
     journal entry describes the intended file and a later verification
     pass catches any divergence.  ``fsync=True`` flushes the file to
     stable storage before returning — a journaled run must never
-    outlive its data.
+    outlive its data.  ``session`` receives byte accounting as in
+    :func:`write_sequence`.
     """
     validate_block_records(block_records)
-    with open_run(path, "w", fmt) as handle:
+    with open_run(path, "w", fmt, codec=codec) as handle:
         writer = BlockWriter(
-            handle, fmt, block_records, checksum=checksum, track_crc=True
+            handle, fmt, block_records, checksum=checksum, track_crc=True,
+            codec=codec,
         )
         writer.write_all(records)
         writer.flush()
         if fsync:
             handle.flush()
             os.fsync(handle.fileno())
+    if session is not None:
+        session.spilled(writer.raw_bytes, writer.disk_bytes)
     return writer.written, writer.file_crc

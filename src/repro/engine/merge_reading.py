@@ -103,7 +103,8 @@ class _RunSource:
     """
 
     __slots__ = ("run", "fmt", "block_records", "checksum", "skip_blank",
-                 "binary", "handle", "finished", "delivered", "_blocks")
+                 "binary", "codec", "handle", "finished", "delivered",
+                 "_blocks")
 
     def __init__(self, run: Any, fmt: RecordFormat, block_records: int) -> None:
         self.run = run
@@ -117,6 +118,10 @@ class _RunSource:
         #: ``None`` defers to the format's ``spill_binary`` flag;
         #: :meth:`SortEngine.merge_files` pins ``False`` for user files.
         self.binary = getattr(run, "binary", None)
+        #: Spill codec the run's file was written with (DESIGN.md §15);
+        #: decompression stays block-at-a-time, so prefetch threads
+        #: decode whole blocks exactly as in the uncompressed path.
+        self.codec = getattr(run, "codec", "none")
         self.handle: Optional[IO[Any]] = None
         self.finished = False
         self.delivered = 0
@@ -126,11 +131,13 @@ class _RunSource:
         if self.finished:
             return []
         if self.handle is None:
-            self.handle = open_run(self.run.path, "r", self.fmt, self.binary)
+            self.handle = open_run(
+                self.run.path, "r", self.fmt, self.binary, codec=self.codec
+            )
             self._blocks = read_blocks(
                 self.handle, self.fmt, self.block_records,
                 checksum=self.checksum, skip_blank=self.skip_blank,
-                binary=self.binary,
+                binary=self.binary, codec=self.codec,
             )
         assert self._blocks is not None
         block = next(self._blocks, None)

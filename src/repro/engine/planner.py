@@ -52,6 +52,7 @@ from repro.engine.block_io import (
     validate_block_records,
 )
 from repro.engine.merge_reading import validate_reading
+from repro.engine.spill_codec import AUTO_CODEC, validate_codec
 from repro.merge.kway import MergeCounter, validate_merge_params
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import log_cost
@@ -70,6 +71,29 @@ SORT_MODES = ("in_memory", "spill", "parallel")
 AUTO_READING = "auto"
 
 
+def _resolve_codec(
+    codec: str,
+    input_records: Optional[int],
+    memory: int,
+    fan_in: int,
+) -> str:
+    """The planner's codec row (DESIGN.md §15).
+
+    A single warm merge pass re-reads every spill byte exactly once,
+    so only the near-free front coding pays for itself; once the input
+    exceeds ``memory * fan_in`` (or is unknown) intermediate passes
+    multiply the I/O and the cheap byte compressor joins in.  The
+    heavy ``lzma`` codec is never chosen automatically — its CPU cost
+    only wins on storage this simulation does not model (network or
+    heavily contended disks), so it stays an explicit override.
+    """
+    if codec != AUTO_CODEC:
+        return codec
+    if input_records is not None and input_records <= memory * fan_in:
+        return "front"
+    return "front+zlib"
+
+
 @dataclass(frozen=True, slots=True)
 class SortPlan:
     """The planner's decision for one sort."""
@@ -80,6 +104,9 @@ class SortPlan:
     buffer_records: int
     workers: int
     reason: str
+    #: Spill codec for the chosen mode (DESIGN.md §15); ``None`` for
+    #: the in-memory mode, which writes no spill files at all.
+    codec: Optional[str] = "none"
 
 
 def plan_sort(
@@ -90,6 +117,7 @@ def plan_sort(
     fan_in: int = DEFAULT_FAN_IN,
     buffer_records: int = DEFAULT_BUFFER_RECORDS,
     reading: str = AUTO_READING,
+    codec: str = "none",
 ) -> SortPlan:
     """Apply the decision table; see the module docstring."""
     validate_merge_params(fan_in, buffer_records)
@@ -99,6 +127,7 @@ def plan_sort(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if reading != AUTO_READING:
         validate_reading(reading)
+    validate_codec(codec, allow_auto=True)
 
     if workers > 1:
         resolved = reading if reading != AUTO_READING else "forecasting"
@@ -109,6 +138,7 @@ def plan_sort(
             buffer_records=buffer_records,
             workers=workers,
             reason=f"workers={workers} requested",
+            codec=_resolve_codec(codec, input_records, memory, fan_in),
         )
     if input_records is not None and input_records <= memory:
         return SortPlan(
@@ -118,6 +148,7 @@ def plan_sort(
             buffer_records=buffer_records,
             workers=1,
             reason=f"{input_records} records fit the {memory}-record budget",
+            codec=None,
         )
     if reading != AUTO_READING:
         resolved = reading
@@ -137,6 +168,7 @@ def plan_sort(
         buffer_records=buffer_records,
         workers=1,
         reason=why,
+        codec=_resolve_codec(codec, input_records, memory, fan_in),
     )
 
 
@@ -172,6 +204,7 @@ def plan_operator(
     fan_in: int = DEFAULT_FAN_IN,
     buffer_records: int = DEFAULT_BUFFER_RECORDS,
     reading: str = AUTO_READING,
+    codec: str = "none",
 ) -> OperatorPlan:
     """Decision table for the sort-based operators (DESIGN.md §12).
 
@@ -217,6 +250,7 @@ def plan_operator(
         fan_in=fan_in,
         buffer_records=buffer_records,
         reading=reading,
+        codec=codec,
     )
     mode = "in_memory" if sort_plan.mode == "in_memory" else "sort"
     return OperatorPlan(
@@ -317,6 +351,7 @@ class SortEngine:
         block_records: int = DEFAULT_BLOCK_RECORDS,
         reading: str = AUTO_READING,
         checksum: bool = False,
+        spill_codec: str = "none",
         work_dir: Optional[str] = None,
         input_fingerprint: Optional[str] = None,
         tmp_dir: Optional[str] = None,
@@ -340,6 +375,9 @@ class SortEngine:
         self.block_records = block_records
         self.reading = reading
         self.checksum = checksum
+        #: Spill codec (DESIGN.md §15); ``"auto"`` lets the planner
+        #: choose per sort from input size and memory budget.
+        self.spill_codec = validate_codec(spill_codec, allow_auto=True)
         self.work_dir = work_dir
         self.input_fingerprint = input_fingerprint
         self.tmp_dir = tmp_dir
@@ -433,6 +471,13 @@ class SortEngine:
         session = SpillSession(
             tempfile.mkdtemp(prefix="repro-merge-", dir=self.tmp_dir),
             checksum=self.checksum,
+            # Caller files carry no size information, so "auto" falls
+            # back to raw for the merge's intermediate spills; an
+            # explicit codec is honoured.
+            codec=(
+                "none" if self.spill_codec == AUTO_CODEC
+                else self.spill_codec
+            ),
         )
         reading = self._resolved_reading(len(paths))
         counter = MergeCounter()
@@ -447,7 +492,7 @@ class SortEngine:
                 session, path, 0, self.record_format, self.buffer_records,
                 keep=True, checksum=False,
                 skip_blank=self.record_format.blank_input_skippable,
-                binary=False,
+                binary=False, codec="none",
             )
             for path in paths
         ]
@@ -469,6 +514,8 @@ class SortEngine:
             )
             self.report = report
         finally:
+            report.spill_raw_bytes = session.spill_raw_bytes
+            report.spill_disk_bytes = session.spill_disk_bytes
             self._capture_session(session)
             session.cleanup()
 
@@ -505,6 +552,7 @@ class SortEngine:
             block_records=self.block_records,
             reading=self.reading,
             checksum=self.checksum,
+            spill_codec=self.spill_codec,
             work_dir=work_dir,
             input_fingerprint=input_fingerprint,
             tmp_dir=self.tmp_dir,
@@ -619,7 +667,15 @@ class SortEngine:
             fan_in=self.fan_in,
             buffer_records=self.buffer_records,
             reading=self.reading,
+            codec=self.spill_codec,
         )
+
+    def _plan_codec(self) -> str:
+        """The resolved codec of the current plan (backends need a
+        concrete name, never ``"auto"``)."""
+        if self.plan is not None and self.plan.codec is not None:
+            return self.plan.codec
+        return "none" if self.spill_codec == AUTO_CODEC else self.spill_codec
 
     def _resolved_reading(self, n_runs: int) -> str:
         if self.reading != AUTO_READING:
@@ -677,6 +733,7 @@ class SortEngine:
                 resume=self._resume,
                 input_fingerprint=self.input_fingerprint,
                 cpu_op_time=self.cpu_op_time,
+                spill_codec=self._plan_codec(),
             )
             self.backend = backend
             return self._finishing(backend, backend.sort(stream))
@@ -691,6 +748,7 @@ class SortEngine:
             reading=self.plan.reading,
             checksum=self.checksum,
             cpu_op_time=self.cpu_op_time,
+            spill_codec=self._plan_codec(),
         )
         self.backend = backend
         return self._finishing(backend, backend.sort(stream))
@@ -717,6 +775,7 @@ class SortEngine:
             resume=self._resume,
             input_fingerprint=self.input_fingerprint,
             cpu_op_time=self.cpu_op_time,
+            spill_codec=self._plan_codec(),
             **kwargs,
         )
         self.backend = backend

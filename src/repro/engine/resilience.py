@@ -71,6 +71,7 @@ from repro.engine.block_io import (
 )
 from repro.engine.errors import JournalError, SortError
 from repro.engine.merge_reading import validate_reading
+from repro.engine.spill_codec import validate_codec
 from repro.merge.kway import MergeCounter, kway_merge, validate_merge_params
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.runs.base import log_cost
@@ -452,6 +453,7 @@ class ResumableSpillSort:
         resume: bool = False,
         input_fingerprint: Optional[str] = None,
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
+        spill_codec: str = "none",
     ) -> None:
         if memory < 1:
             raise ValueError(f"memory must be >= 1, got {memory}")
@@ -467,6 +469,8 @@ class ResumableSpillSort:
         self.resume = resume
         self.input_fingerprint = input_fingerprint
         self.cpu_op_time = cpu_op_time
+        #: Spill codec (DESIGN.md §15) for every journaled artifact.
+        self.spill_codec = validate_codec(spill_codec)
         # -- instrumentation of the last finished sort --
         self.report: Optional[SortReport] = None
         self.merge_passes = 0
@@ -494,6 +498,10 @@ class ResumableSpillSort:
                 "binary" if getattr(self.record_format, "spill_binary", False)
                 else "text"
             ),
+            # Codec framings are not mutually readable either: a work
+            # dir journaled under one codec must never be resumed under
+            # another, so the codec is part of the resume identity.
+            "codec": self.spill_codec,
             "input": self.input_fingerprint,
         }
 
@@ -510,7 +518,9 @@ class ResumableSpillSort:
             self.work_dir, self.fingerprint(), self.resume
         )
         self._resume_state = _ResumeState(journal, self.work_dir)
-        session = SpillSession(self.work_dir, checksum=self.checksum)
+        session = SpillSession(
+            self.work_dir, checksum=self.checksum, codec=self.spill_codec
+        )
         self.runs_reused = 0
         self.merges_reused = 0
         completed = False
@@ -557,6 +567,8 @@ class ResumableSpillSort:
         finally:
             # Run-phase stats survive an abandoned or faulted merge.
             if report is not None:
+                report.spill_raw_bytes = session.spill_raw_bytes
+                report.spill_disk_bytes = session.spill_disk_bytes
                 self.report = report
             journal.close()
             self.reading_stats = session.reading_stats
@@ -650,6 +662,8 @@ class ResumableSpillSort:
                     self.buffer_records,
                     checksum=self.checksum,
                     fsync=True,
+                    codec=self.spill_codec,
+                    session=session,
                 )
                 journal.append(
                     {
@@ -704,13 +718,16 @@ class ResumableSpillSort:
                 )
             else:
                 path = self._merge_path(merge_id)
-                with open_run(path, "w", self.record_format) as handle:
+                with open_run(
+                    path, "w", self.record_format, codec=self.spill_codec
+                ) as handle:
                     writer = BlockWriter(
                         handle,
                         self.record_format,
                         self.buffer_records,
                         checksum=self.checksum,
                         track_crc=True,
+                        codec=self.spill_codec,
                     )
                     writer.write_all(
                         kway_merge([run.records() for run in group], counter)
@@ -718,6 +735,7 @@ class ResumableSpillSort:
                     writer.flush()
                     handle.flush()
                     os.fsync(handle.fileno())
+                session.spilled(writer.raw_bytes, writer.disk_bytes)
                 journal.append(
                     {
                         "type": "merge",

@@ -26,10 +26,15 @@ R002 — the fault seam: every spill/shard/partition file in the
 ``engine``/``sort``/``ops``/``merge`` packages must be opened through
 :func:`repro.engine.block_io.open_text`, the single seam the
 fault-injection harness and CRC verification wrap.  A direct builtin
-``open()`` there silently escapes both; metadata I/O that genuinely
-must not be fault-wrapped (journal manifests, completion markers,
-binary CRC verification reads) carries an explicit waiver naming that
-reason.
+``open()`` there silently escapes both; so does a compression *file*
+API (``lzma.open``/``gzip.open``/``bz2.open`` or their ``LZMAFile``/
+``GzipFile``/``BZ2File`` constructors), which is the tempting shortcut
+when writing codec code — spill compression must stay block-at-a-time
+(``zlib.compress``/``lzma.compress`` on in-memory bodies inside the
+RBLC framing, DESIGN.md §15) so corruption maps to one block and the
+fault harness sees every byte.  Metadata I/O that genuinely must not
+be fault-wrapped (journal manifests, completion markers, binary CRC
+verification reads) carries an explicit waiver naming that reason.
 """
 
 from __future__ import annotations
@@ -52,6 +57,15 @@ _OPENERS = ("open", "open_text", "open_bytes", "open_run")
 
 #: Packages whose record I/O must go through the open_text seam.
 _SEAM_PACKAGES = ("engine", "sort", "ops", "merge")
+
+#: Compression *file* APIs (module.open) that stream a whole file
+#: through the codec, hiding it from the seam and from per-block CRCs.
+_CODEC_FILE_OPENS = ("lzma.open", "gzip.open", "bz2.open")
+
+#: Their class-constructor spellings, matched on the last component so
+#: both ``lzma.LZMAFile(...)`` and a bare imported ``LZMAFile(...)``
+#: are caught.
+_CODEC_FILE_CLASSES = ("LZMAFile", "GzipFile", "BZ2File")
 
 
 def _is_opener(call: ast.Call) -> bool:
@@ -250,11 +264,9 @@ def check_fault_seam(ctx: FileContext) -> List[Finding]:
         return []
     findings = []
     for node in ast.walk(ctx.tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "open"
-        ):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
             findings.append(
                 Finding(
                     ctx.path,
@@ -265,6 +277,23 @@ def check_fault_seam(ctx: FileContext) -> List[Finding]:
                     "injection and CRC checking never see this file — "
                     "route through open_text, or waive with the reason "
                     "this I/O must stay outside the seam",
+                )
+            )
+        elif (
+            dotted(node.func) in _CODEC_FILE_OPENS
+            or last_component(node.func) in _CODEC_FILE_CLASSES
+        ):
+            findings.append(
+                Finding(
+                    ctx.path,
+                    node.lineno,
+                    "R002",
+                    "compression file API in a sort-path package "
+                    "streams the whole file through the codec outside "
+                    "the open_text/open_bytes seam — spill compression "
+                    "must be block-at-a-time inside the RBLC framing "
+                    "(compress the body bytes, not the file), so fault "
+                    "injection and per-block CRCs keep working",
                 )
             )
     return findings

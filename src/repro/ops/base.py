@@ -101,6 +101,8 @@ def report_from_sort(
         run_lengths=list(base.run_lengths),
         run_phase=base.run_phase,
         merge_phase=base.merge_phase,
+        spill_raw_bytes=base.spill_raw_bytes,
+        spill_disk_bytes=base.spill_disk_bytes,
         operator=operator,
         rows_in=rows_in,
         rows_out=rows_out,

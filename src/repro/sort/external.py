@@ -65,6 +65,11 @@ class SortReport:
     run_lengths: List[int] = field(default_factory=list)
     run_phase: PhaseReport = field(default_factory=PhaseReport)
     merge_phase: PhaseReport = field(default_factory=PhaseReport)
+    #: Spill traffic of the real-file backends (DESIGN.md §15):
+    #: encoded record bytes before codec framing vs bytes actually
+    #: written.  Both zero for in-memory and simulated sorts.
+    spill_raw_bytes: int = 0
+    spill_disk_bytes: int = 0
 
     @property
     def run_time(self) -> float:
@@ -75,6 +80,13 @@ class SortReport:
     def total_time(self) -> float:
         """Simulated seconds of the whole sort."""
         return self.run_phase.time + self.merge_phase.time
+
+    @property
+    def spill_ratio(self) -> float:
+        """raw/on-disk spill ratio (>= 1 when the codec wins)."""
+        if not self.spill_disk_bytes:
+            return 1.0
+        return self.spill_raw_bytes / self.spill_disk_bytes
 
     @property
     def average_run_length(self) -> float:
@@ -95,14 +107,19 @@ class SortReport:
                 parts.append(f"sim_cpu={phase.cpu_time:.4f}s")
             return f"  {label:<6}" + "  ".join(parts)
 
-        return "\n".join(
-            [
-                f"{self.algorithm}: {self.records} records in {self.runs} runs "
-                f"(avg {self.average_run_length:.0f} records)",
-                phase_line("runs", self.run_phase),
-                phase_line("merge", self.merge_phase),
-            ]
-        )
+        lines = [
+            f"{self.algorithm}: {self.records} records in {self.runs} runs "
+            f"(avg {self.average_run_length:.0f} records)",
+            phase_line("runs", self.run_phase),
+            phase_line("merge", self.merge_phase),
+        ]
+        if self.spill_raw_bytes or self.spill_disk_bytes:
+            lines.append(
+                f"  spilled bytes raw={self.spill_raw_bytes}  "
+                f"on_disk={self.spill_disk_bytes}  "
+                f"ratio={self.spill_ratio:.2f}"
+            )
+        return "\n".join(lines)
 
 
 class _ChainedRunSource:

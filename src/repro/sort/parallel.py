@@ -41,6 +41,7 @@ from repro.core.records import KeyOnlyRecord, RecordFormat
 from repro.engine.block_io import BlockWriter, iter_records, open_run
 from repro.engine.errors import SortError
 from repro.engine.merge_reading import validate_reading
+from repro.engine.spill_codec import validate_codec
 from repro.merge.kway import MergeCounter, validate_merge_params
 from repro.merge.merge_tree import DEFAULT_FAN_IN
 from repro.sort.external import DEFAULT_CPU_OP_TIME, PhaseReport, SortReport
@@ -141,6 +142,7 @@ def _read_encoded(
     record_format: RecordFormat,
     buffer_records: int,
     checksum: bool = False,
+    codec: str = "none",
 ) -> Iterator[Any]:
     """Stream the records of one newline-delimited partition file.
 
@@ -155,9 +157,10 @@ def _read_encoded(
     length-prefixed binary blocks (shard transfer never decodes), so
     the opener and reader both defer to the format's framing.
     """
-    with open_run(path, "r", record_format) as handle:
+    with open_run(path, "r", record_format, codec=codec) as handle:
         yield from iter_records(
-            handle, record_format, buffer_records, checksum=checksum
+            handle, record_format, buffer_records, checksum=checksum,
+            codec=codec,
         )
 
 
@@ -216,6 +219,8 @@ class ShardTask:
     acquire_timeout: float
     #: Per-block checksums on partition, spill and shard files.
     checksum: bool = False
+    #: Spill codec on partition, spill and shard files (DESIGN.md §15).
+    codec: str = "none"
     #: Durable mode: fsync the shard output and leave a ``.ok``
     #: completion marker behind so a resumed parent can skip it.
     durable: bool = False
@@ -282,11 +287,13 @@ def sort_shard(args: Tuple[ShardTask, Any]) -> ShardResult:
             record_format=task.record_format,
             checksum=task.checksum,
             cpu_op_time=task.cpu_op_time,
+            spill_codec=task.codec,
         )
         length = sorter.sort_to_path(
             _read_encoded(
                 task.partition_path, task.record_format,
                 task.buffer_records, checksum=task.checksum,
+                codec=task.codec,
             ),
             task.output_path,
             track_crc=task.durable,
@@ -389,6 +396,7 @@ class PartitionedSort:
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
         poll_interval: float = 0.005,
         acquire_timeout: float = 600.0,
+        spill_codec: str = "none",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -421,6 +429,9 @@ class PartitionedSort:
         self.mp_context = mp_context
         self.sample_records = sample_records
         self.checksum = checksum
+        #: Spill codec (DESIGN.md §15) on partition, worker-spill and
+        #: shard files; the parent's final merge reads it back.
+        self.spill_codec = validate_codec(spill_codec)
         self.work_dir = work_dir
         self.resume = resume
         self.input_fingerprint = input_fingerprint
@@ -447,6 +458,8 @@ class PartitionedSort:
         self.shards_reused = 0
         #: Records routed into each partition file by the last sort.
         self._partition_counts: List[Optional[int]] = [None] * workers
+        #: (raw, disk) bytes the parent wrote into partition files.
+        self._partition_bytes: Tuple[int, int] = (0, 0)
 
     # -- public API --------------------------------------------------------------
 
@@ -494,7 +507,9 @@ class PartitionedSort:
             started = time.perf_counter()
             merge_dir = os.path.join(work_dir, "merge")
             os.makedirs(merge_dir, exist_ok=True)
-            session = SpillSession(merge_dir, checksum=self.checksum)
+            session = SpillSession(
+                merge_dir, checksum=self.checksum, codec=self.spill_codec
+            )
             counter = MergeCounter()
             runs = [
                 SpilledRun(
@@ -532,6 +547,8 @@ class PartitionedSort:
                 # Mirror FileSpillSort: instrumentation and the report
                 # (run-phase stats at least) reflect the sort even when
                 # the stream is abandoned mid-merge.
+                report.spill_raw_bytes += session.spill_raw_bytes
+                report.spill_disk_bytes += session.spill_disk_bytes
                 self.report = report
                 self.merge_passes = session.merge_passes
                 self.reading_stats = session.reading_stats
@@ -562,6 +579,10 @@ class PartitionedSort:
                 "binary" if getattr(self.record_format, "spill_binary", False)
                 else "text"
             ),
+            # Same rule for codecs: shard files written under one codec
+            # are unreadable under another, so the codec is part of the
+            # resume identity (no mixed-codec work dirs).
+            "codec": self.spill_codec,
             "input": self.input_fingerprint,
         }
 
@@ -589,11 +610,16 @@ class PartitionedSort:
         handles: List[Any] = []
         try:
             for path in paths:
-                handles.append(open_run(path, "w", self.record_format))
+                handles.append(
+                    open_run(
+                        path, "w", self.record_format,
+                        codec=self.spill_codec,
+                    )
+                )
             writers = [
                 BlockWriter(
                     handle, self.record_format, block_records,
-                    checksum=self.checksum,
+                    checksum=self.checksum, codec=self.spill_codec,
                 )
                 for handle in handles
             ]
@@ -604,6 +630,10 @@ class PartitionedSort:
             #: Per-shard routed counts; workers verify nothing was lost
             #: between the parent's writes and their reads.
             self._partition_counts = [writer.written for writer in writers]
+            self._partition_bytes = (
+                sum(writer.raw_bytes for writer in writers),
+                sum(writer.disk_bytes for writer in writers),
+            )
         finally:
             for handle in handles:
                 handle.close()
@@ -667,6 +697,7 @@ class PartitionedSort:
                 poll_interval=self.poll_interval,
                 acquire_timeout=self.acquire_timeout,
                 checksum=self.checksum,
+                codec=self.spill_codec,
                 durable=durable,
                 expected_records=self._partition_counts[i],
             )
@@ -764,5 +795,15 @@ class PartitionedSort:
         )
         combined.merge_phase = PhaseReport(
             cpu_ops=merge_ops, cpu_time=merge_ops * self.cpu_op_time
+        )
+        # Spill traffic: the parent's partition files plus every
+        # worker's runs, intermediate merges and shard output.  The
+        # parent-side final merge adds its own bytes when it finishes.
+        part_raw, part_disk = self._partition_bytes
+        combined.spill_raw_bytes = part_raw + sum(
+            r.spill_raw_bytes for r in reports
+        )
+        combined.spill_disk_bytes = part_disk + sum(
+            r.spill_disk_bytes for r in reports
         )
         return combined

@@ -41,6 +41,7 @@ from repro.engine.block_io import (
     read_blocks,
     write_sequence,
 )
+from repro.engine.spill_codec import validate_codec
 from repro.engine.merge_reading import (
     ReadingStats,
     open_reading,
@@ -91,19 +92,33 @@ class SpillSession:
     temp directory or cross-wire each other's instrumentation.
     """
 
-    def __init__(self, work_dir: str, checksum: bool = False) -> None:
+    def __init__(
+        self, work_dir: str, checksum: bool = False, codec: str = "none"
+    ) -> None:
         self.work_dir = work_dir
         #: Spill files written under this session carry per-block
         #: checksum headers (DESIGN.md §11); readers verify them.
         self.checksum = checksum
+        #: Spill codec (DESIGN.md §15) for every run and intermediate
+        #: merge file written under this session.
+        self.codec = validate_codec(codec)
         self.next_spill_id = 0
         self.merge_passes = 0
         self.resident = 0
         self.open_readers = 0
         self.max_resident_records = 0
         self.max_open_readers = 0
+        #: Spill traffic: encoded record bytes before codec framing vs
+        #: bytes actually written (equal when the codec is "none").
+        self.spill_raw_bytes = 0
+        self.spill_disk_bytes = 0
         #: Final-pass reading instrumentation (set by merge_spilled_runs).
         self.reading_stats: Optional[ReadingStats] = None
+
+    def spilled(self, raw_bytes: int, disk_bytes: int) -> None:
+        """Record one spill write's byte accounting."""
+        self.spill_raw_bytes += raw_bytes
+        self.spill_disk_bytes += disk_bytes
 
     def spill_path(self) -> str:
         path = os.path.join(self.work_dir, f"run-{self.next_spill_id:06d}.txt")
@@ -152,6 +167,7 @@ class SpilledRun:
         checksum: Optional[bool] = None,
         skip_blank: bool = False,
         binary: Optional[bool] = None,
+        codec: Optional[str] = None,
     ) -> None:
         self._session = session
         self.path = path
@@ -175,6 +191,10 @@ class SpilledRun:
         #: inputs, same contract as the CLI's input streams).  Spill
         #: files the sort writes itself never need it.
         self.skip_blank = skip_blank
+        #: Per-run override of the session's spill codec: caller-
+        #: provided merge inputs are uncompressed text even when the
+        #: session compresses its own intermediate spills.
+        self._codec = codec
 
     @property
     def checksum(self) -> bool:
@@ -182,6 +202,13 @@ class SpilledRun:
         if self._checksum is not None:
             return self._checksum
         return self._session.checksum
+
+    @property
+    def codec(self) -> str:
+        """The spill codec this run's file was written with."""
+        if self._codec is not None:
+            return self._codec
+        return self._session.codec
 
     def records(self) -> Iterator[Any]:
         """Yield the run's records in order, buffered and lazily.
@@ -196,12 +223,13 @@ class SpilledRun:
         session.reader_opened()
         try:
             with open_run(
-                self.path, "r", self.record_format, self.binary
+                self.path, "r", self.record_format, self.binary,
+                codec=self.codec,
             ) as handle:
                 for chunk in read_blocks(
                     handle, self.record_format, self.buffer_records,
                     checksum=self.checksum, skip_blank=self.skip_blank,
-                    binary=self.binary,
+                    binary=self.binary, codec=self.codec,
                 ):
                     delivered += len(chunk)
                     session.buffer_grew(len(chunk))
@@ -244,14 +272,16 @@ def merge_group_to_file(
     the engine's file merge.
     """
     path = session.spill_path()
-    with open_run(path, "w", record_format) as out:
+    with open_run(path, "w", record_format, codec=session.codec) as out:
         writer = BlockWriter(
-            out, record_format, buffer_records, checksum=session.checksum
+            out, record_format, buffer_records, checksum=session.checksum,
+            codec=session.codec,
         )
         writer.write_all(
             kway_merge([run.records() for run in group], counter)
         )
         writer.flush()
+    session.spilled(writer.raw_bytes, writer.disk_bytes)
     return SpilledRun(
         session, path, writer.written, record_format, buffer_records
     )
@@ -349,6 +379,7 @@ class FileSpillSort:
         reading: str = "naive",
         checksum: bool = False,
         cpu_op_time: float = DEFAULT_CPU_OP_TIME,
+        spill_codec: str = "none",
     ) -> None:
         validate_merge_params(fan_in, buffer_records)
         self.generator = generator
@@ -361,6 +392,10 @@ class FileSpillSort:
         self.reading = validate_reading(reading)
         self.checksum = checksum
         self.cpu_op_time = cpu_op_time
+        #: Spill codec (DESIGN.md §15) for runs, intermediate merges
+        #: and shard output files.  The final ``sort()`` stream is
+        #: unaffected — codecs only change bytes at rest.
+        self.spill_codec = validate_codec(spill_codec)
         #: CRC-32 of the bytes the last :meth:`sort_to_path` intended
         #: to write (set when ``track_crc=True``); shard completion
         #: markers record it so resume verification catches any
@@ -402,6 +437,7 @@ class FileSpillSort:
         session = SpillSession(
             tempfile.mkdtemp(prefix="repro-sort-", dir=self.tmp_dir),
             checksum=self.checksum,
+            codec=self.spill_codec,
         )
         report = None
         try:
@@ -452,6 +488,8 @@ class FileSpillSort:
             # kills) the merge stream: a truncating caller like top-k
             # still sees the run-phase stats, with merge_phase zeroed.
             if report is not None:
+                report.spill_raw_bytes = session.spill_raw_bytes
+                report.spill_disk_bytes = session.spill_disk_bytes
                 self.report = report
             self.reading_stats = session.reading_stats
             self.merge_passes = session.merge_passes
@@ -476,10 +514,13 @@ class FileSpillSort:
         both required before a durable completion marker may be
         written for the file.
         """
-        with open_run(path, "w", self.record_format) as out:
+        with open_run(
+            path, "w", self.record_format, codec=self.spill_codec
+        ) as out:
             writer = BlockWriter(
                 out, self.record_format, self.buffer_records,
                 checksum=self.checksum, track_crc=track_crc,
+                codec=self.spill_codec,
             )
             writer.write_all(self.sort(records))
             writer.flush()
@@ -487,6 +528,11 @@ class FileSpillSort:
                 out.flush()
                 os.fsync(out.fileno())
         self.last_output_crc = writer.file_crc if track_crc else None
+        if self.report is not None:
+            # The shard file is spill traffic too: the parent merge
+            # reads it back exactly like a run.
+            self.report.spill_raw_bytes += writer.raw_bytes
+            self.report.spill_disk_bytes += writer.disk_bytes
         return writer.written
 
     # -- internals -----------------------------------------------------------------
@@ -498,7 +544,7 @@ class FileSpillSort:
         path = session.spill_path()
         write_sequence(
             path, run, self.record_format, self.buffer_records,
-            checksum=self.checksum,
+            checksum=self.checksum, codec=session.codec, session=session,
         )
         return SpilledRun(
             session, path, len(run), self.record_format, self.buffer_records

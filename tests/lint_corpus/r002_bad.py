@@ -1,8 +1,21 @@
 # repro-lint-corpus: src/repro/sort/r002_example_bad.py
 # expect: R002:7
-"""Known-bad: builtin open() on the spill path dodges the fault seam."""
-
-
+# expect: R002:12
+# expect: R002:17
+"""Known-bad: builtin open() and codec file APIs dodge the fault seam."""
 def spill_partition(path, rows):
     with open(path, "w", encoding="utf-8") as handle:
         handle.writelines(rows)
+
+
+def spill_compressed(path, rows):
+    with lzma.open(path, "wt") as handle:
+        handle.writelines(rows)
+
+
+def spill_gzipped(path, rows):
+    handle = GzipFile(path, "wb")
+    try:
+        handle.write(b"".join(row.encode() for row in rows))
+    finally:
+        handle.close()

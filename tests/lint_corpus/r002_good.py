@@ -1,8 +1,17 @@
 # repro-lint-corpus: src/repro/sort/r002_example_good.py
 # expect: none
-"""Known-good: spill I/O goes through the block_io.open_text seam."""
+"""Known-good: spill I/O through the seam; codecs block-at-a-time."""
 
 
 def spill_partition(path, rows):
     with open_text(path, "w") as handle:
         handle.writelines(rows)
+
+
+def spill_compressed(path, rows, fmt):
+    # Block-at-a-time compression stays inside the RBLC framing: the
+    # codec sees in-memory block bodies, never the file handle.
+    with open_run(path, "w", fmt, codec="zlib") as handle:
+        writer = BlockWriter(handle, fmt, 4096, codec="zlib")
+        writer.write_all(rows)
+        writer.flush()

@@ -299,10 +299,11 @@ def format_args(fmt):
 
 def run_matrix_case(
     tmp_path, fmt, workers, plan, records=600, memory=16, binary=False,
+    codec="none",
 ):
     """One acceptance check: faulted run fails cleanly, resume matches."""
     case = dict(fmt=fmt, workers=workers, plan=plan.describe(),
-                binary=binary)
+                binary=binary, codec=codec)
     source = make_corpus(tmp_path, fmt, records, workers)
     base = ["sort", "--memory", str(memory), "--fan-in", "4",
             "--merge-buffer", "8", *format_args(fmt)]
@@ -310,6 +311,8 @@ def run_matrix_case(
         base += ["--workers", str(workers)]
     if binary:
         base += ["--binary-spill"]
+    if codec != "none":
+        base += ["--spill-codec", codec]
     ref = tmp_path / "ref.txt"
     assert main(base + [str(source), "-o", str(ref)]) == 0, stress_case(**case)
 
@@ -388,6 +391,42 @@ class TestFaultMatrixSmoke:
         run_matrix_case(tmp_path, "int", 2, PARALLEL_FAULTS[0], binary=True)
 
 
+CODECS_UNDER_TEST = ["zlib", "lzma", "front", "front+zlib"]
+
+
+class TestFaultMatrixCodecSmoke:
+    """Faults inside *compressed* (RBLC) block bodies.
+
+    A flipped, torn, or truncated byte inside a compressed body cannot
+    be caught by parsing — zlib streams often still inflate and front
+    coding happily decodes shifted prefixes — so these cases pin the
+    tentpole property: the always-on RBLC header CRC turns every such
+    fault into the same clean exit-1 failure, and --resume reproduces
+    the fault-free bytes."""
+
+    @pytest.mark.parametrize("codec", CODECS_UNDER_TEST)
+    def test_serial_bit_flip(self, tmp_path, codec):
+        run_matrix_case(tmp_path, "int", 1, SERIAL_FAULTS[4], codec=codec)
+
+    def test_serial_truncate_zlib(self, tmp_path):
+        run_matrix_case(tmp_path, "int", 1, SERIAL_FAULTS[5], codec="zlib")
+
+    def test_serial_short_write_front_zlib(self, tmp_path):
+        run_matrix_case(
+            tmp_path, "csv", 1, SERIAL_FAULTS[1], codec="front+zlib"
+        )
+
+    def test_serial_binary_bit_flip_zlib(self, tmp_path):
+        """Order-preserving key bytes under zlib: corrupt stored body,
+        caught before any record reaches the merge."""
+        run_matrix_case(
+            tmp_path, "int", 1, SERIAL_FAULTS[4], binary=True, codec="zlib"
+        )
+
+    def test_parallel_shard_bit_flip_zlib(self, tmp_path):
+        run_matrix_case(tmp_path, "int", 2, PARALLEL_FAULTS[2], codec="zlib")
+
+
 @pytest.mark.stress
 class TestFaultMatrixStress:
     """The full sweep: every fault point x backend x format."""
@@ -405,6 +444,24 @@ class TestFaultMatrixStress:
                              ids=lambda p: p.describe())
     def test_parallel(self, tmp_path, fmt, plan, binary):
         run_matrix_case(tmp_path, fmt, 2, plan, binary=binary)
+
+
+@pytest.mark.stress
+class TestFaultMatrixCodecStress:
+    """Every fault point x every codec, serial and parallel."""
+
+    @pytest.mark.parametrize("codec", CODECS_UNDER_TEST)
+    @pytest.mark.parametrize("binary", [False, True], ids=["text", "bin"])
+    @pytest.mark.parametrize("plan", SERIAL_FAULTS,
+                             ids=lambda p: p.describe())
+    def test_serial(self, tmp_path, plan, binary, codec):
+        run_matrix_case(tmp_path, "int", 1, plan, binary=binary, codec=codec)
+
+    @pytest.mark.parametrize("codec", CODECS_UNDER_TEST)
+    @pytest.mark.parametrize("plan", PARALLEL_FAULTS,
+                             ids=lambda p: p.describe())
+    def test_parallel(self, tmp_path, plan, codec):
+        run_matrix_case(tmp_path, "int", 2, plan, codec=codec)
 
 
 class TestCleanFailureWithoutDurability:

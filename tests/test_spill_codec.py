@@ -1,0 +1,470 @@
+"""Compressed + front-coded spill blocks (DESIGN.md §15).
+
+Codec-layer units (varint framing, front coding, compress/decompress
+round-trips), the RBLC block framing through ``BlockWriter`` /
+``read_blocks`` including every corruption class, the raw-vs-on-disk
+byte accounting that feeds ``SortReport``, the codec key in both
+resume fingerprints, and the planner's codec decision row.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.config import GeneratorSpec
+from repro.core.records import INT, binary_format, resolve_format
+from repro.engine.block_io import (
+    COMPRESSED_BLOCK_MAGIC,
+    BlockWriter,
+    iter_records,
+    open_run,
+    read_blocks,
+    write_block_file,
+    write_sequence,
+)
+from repro.engine.errors import CorruptBlockError
+from repro.engine.planner import (
+    SortEngine,
+    _resolve_codec,
+    plan_sort,
+)
+from repro.engine.resilience import ResumableSpillSort, SortJournal
+from repro.engine.spill_codec import (
+    AUTO_CODEC,
+    SPILL_CODECS,
+    SpillCodecError,
+    compress_body,
+    decompress_body,
+    front_decode,
+    front_encode,
+    validate_codec,
+)
+from repro.ops.base import report_from_sort
+from repro.sort.external import SortReport
+from repro.sort.parallel import PartitionedSort
+from repro.sort.spill import FileSpillSort
+
+REAL_CODECS = [c for c in SPILL_CODECS if c != "none"]
+
+_HEADER_SIZE = struct.calcsize(">4sBIIII")
+
+
+# ---------------------------------------------------------------------------
+# codec primitives
+# ---------------------------------------------------------------------------
+
+
+class TestValidateCodec:
+    def test_accepts_every_registered_codec(self):
+        for codec in SPILL_CODECS:
+            assert validate_codec(codec) == codec
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_codec("snappy")
+
+    def test_auto_is_opt_in(self):
+        with pytest.raises(ValueError):
+            validate_codec(AUTO_CODEC)
+        assert validate_codec(AUTO_CODEC, allow_auto=True) == AUTO_CODEC
+
+
+class TestFrontCoding:
+    def test_round_trip_sorted_lines(self):
+        parts = [f"key{i:06d},payload\n".encode() for i in range(500)]
+        encoded = front_encode(parts)
+        assert front_decode(encoded, len(parts)) == b"".join(parts)
+        # 500 lines sharing "key00..." prefixes must shrink.
+        assert len(encoded) < len(b"".join(parts))
+
+    def test_round_trip_unsorted_still_correct(self):
+        parts = [b"zebra\n", b"apple\n", b"zoo\n", b"ant\n"]
+        encoded = front_encode(parts)
+        assert front_decode(encoded, len(parts)) == b"".join(parts)
+
+    def test_empty_and_single(self):
+        assert front_decode(front_encode([]), 0) == b""
+        assert front_decode(front_encode([b"only\n"]), 1) == b"only\n"
+
+    def test_identical_parts_collapse(self):
+        parts = [b"same\n"] * 100
+        encoded = front_encode(parts)
+        # Each repeat costs two varints and zero suffix bytes.
+        assert len(encoded) < len(b"same\n") + 3 * 100
+
+    def test_truncated_stream_raises(self):
+        encoded = front_encode([b"abc\n", b"abd\n"])
+        with pytest.raises(SpillCodecError):
+            front_decode(encoded[:-2], 2)
+
+    def test_trailing_garbage_raises(self):
+        encoded = front_encode([b"abc\n"])
+        with pytest.raises(SpillCodecError):
+            front_decode(encoded + b"\x00", 1)
+
+    def test_count_mismatch_raises(self):
+        encoded = front_encode([b"abc\n", b"abd\n"])
+        with pytest.raises(SpillCodecError):
+            front_decode(encoded, 3)
+
+
+class TestCompressBody:
+    BODY = b"".join(f"{i:08d}\n".encode() for i in range(2000))
+    PARTS = tuple(f"{i:08d}\n".encode() for i in range(2000))
+
+    @pytest.mark.parametrize("codec", REAL_CODECS)
+    def test_round_trip(self, codec):
+        stored = compress_body(codec, self.BODY, self.PARTS)
+        raw = decompress_body(codec, stored, len(self.BODY), len(self.PARTS))
+        assert raw == self.BODY
+
+    @pytest.mark.parametrize("codec", ["zlib", "lzma", "front+zlib"])
+    def test_byte_compressors_shrink(self, codec):
+        stored = compress_body(codec, self.BODY, self.PARTS)
+        assert len(stored) < len(self.BODY) // 2
+
+    def test_corrupt_zlib_stream_raises_codec_error(self):
+        stored = bytearray(compress_body("zlib", self.BODY, ()))
+        stored[4] ^= 0xFF
+        with pytest.raises(SpillCodecError):
+            decompress_body("zlib", bytes(stored), len(self.BODY), 2000)
+
+    def test_raw_length_mismatch_raises(self):
+        stored = compress_body("zlib", self.BODY, ())
+        with pytest.raises(SpillCodecError):
+            decompress_body("zlib", stored, len(self.BODY) + 1, 2000)
+
+
+# ---------------------------------------------------------------------------
+# RBLC framing through BlockWriter / read_blocks
+# ---------------------------------------------------------------------------
+
+
+def roundtrip(tmp_path, fmt, records, codec, block_records=64):
+    path = str(tmp_path / f"run-{codec.replace('+', '_')}.dat")
+    write_sequence(path, records, fmt, block_records, codec=codec)
+    with open_run(path, "r", fmt, codec=codec) as handle:
+        return path, list(
+            iter_records(handle, fmt, block_records, codec=codec)
+        )
+
+
+class TestCompressedBlockIO:
+    @pytest.mark.parametrize("codec", REAL_CODECS)
+    def test_text_round_trip(self, tmp_path, codec):
+        records = [(i * 7919) % 4001 for i in range(1000)]
+        _, out = roundtrip(tmp_path, INT, records, codec)
+        assert out == records
+
+    @pytest.mark.parametrize("codec", REAL_CODECS)
+    def test_binary_round_trip(self, tmp_path, codec):
+        fmt = binary_format(INT)
+        records = [fmt.decode(str((i * 613) % 997)) for i in range(1000)]
+        _, out = roundtrip(tmp_path, fmt, records, codec)
+        assert out == records
+
+    @pytest.mark.parametrize("codec", REAL_CODECS)
+    def test_csv_round_trip(self, tmp_path, codec):
+        fmt = resolve_format("csv", key=1)
+        records = [fmt.decode(f"r{i},{i % 13},x") for i in range(300)]
+        _, out = roundtrip(tmp_path, fmt, records, codec)
+        assert out == records
+
+    def test_front_coding_shrinks_sorted_binary_runs(self, tmp_path):
+        """The tentpole's point: PR-7 order-preserving key bytes give
+        sorted runs long shared prefixes for front coding to delta."""
+        fmt = binary_format(INT)
+        records = sorted(
+            (fmt.decode(str(1_000_000 + i)) for i in range(4096)),
+            key=lambda r: r[0],
+        )
+        plain = str(tmp_path / "plain.dat")
+        write_sequence(plain, records, fmt, 512)
+        front = str(tmp_path / "front.dat")
+        write_sequence(front, records, fmt, 512, codec="front")
+        import os
+
+        assert os.path.getsize(front) < os.path.getsize(plain) * 0.75
+
+    def test_mixed_codec_read_is_corrupt_not_garbage(self, tmp_path):
+        path, _ = roundtrip(tmp_path, INT, list(range(100)), "zlib")
+        with open_run(path, "r", INT, codec="lzma") as handle:
+            with pytest.raises(CorruptBlockError) as info:
+                list(read_blocks(handle, INT, 64, codec="lzma"))
+        assert info.value.path == path
+        assert "codec" in str(info.value)
+
+    def test_plain_reader_on_compressed_file_fails_loudly(self, tmp_path):
+        path, _ = roundtrip(tmp_path, INT, list(range(100)), "zlib")
+        with open_run(path, "r", INT) as handle:
+            with pytest.raises(Exception):
+                list(iter_records(handle, INT, 64))
+
+
+class TestCompressedCorruption:
+    def corrupt(self, tmp_path, codec, mutate):
+        records = [(i * 17) % 301 for i in range(500)]
+        path = str(tmp_path / "run-corrupt.dat")
+        write_sequence(path, records, INT, 64, codec=codec)
+        data = bytearray(open(path, "rb").read())
+        mutate(data)
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with open_run(path, "r", INT, codec=codec) as handle:
+            with pytest.raises(CorruptBlockError) as info:
+                list(read_blocks(handle, INT, 64, codec=codec))
+        return path, info.value
+
+    @pytest.mark.parametrize("codec", REAL_CODECS)
+    def test_bit_flip_in_body_names_file_block_offset(self, tmp_path, codec):
+        def flip(data):
+            data[_HEADER_SIZE + 3] ^= 0x10  # inside block 0's stored body
+
+        path, err = self.corrupt(tmp_path, codec, flip)
+        assert err.path == path
+        assert err.block_index == 0
+        assert err.offset == 0
+
+    @pytest.mark.parametrize("codec", ["zlib", "front"])
+    def test_bit_flip_in_later_block(self, tmp_path, codec):
+        def flip(data):
+            # Past block 0: stored_len lives at bytes 13..17 of the
+            # header (>4sBIIII: magic, codec, count, raw, stored, crc).
+            stored0 = struct.unpack(">I", data[13:17])[0]
+            data[_HEADER_SIZE + stored0 + _HEADER_SIZE + 1] ^= 0x01
+
+        path, err = self.corrupt(tmp_path, codec, flip)
+        assert err.block_index == 1
+        assert err.offset > 0
+
+    def test_truncated_stored_body(self, tmp_path):
+        path, err = self.corrupt(
+            tmp_path, "zlib", lambda data: data.__delitem__(
+                slice(len(data) - 5, len(data))
+            )
+        )
+        assert "truncated" in err.reason
+
+    def test_truncated_header(self, tmp_path):
+        def chop(data):
+            del data[len(data) - (_HEADER_SIZE + 40) + 6:]
+
+        _, err = self.corrupt(tmp_path, "zlib", chop)
+        assert "header" in err.reason
+
+    def test_bad_magic(self, tmp_path):
+        def stomp(data):
+            data[0:4] = b"XXXX"
+
+        _, err = self.corrupt(tmp_path, "front+zlib", stomp)
+        assert err.block_index == 0
+
+    def test_magic_constant_is_distinct_from_binary_framing(self):
+        assert COMPRESSED_BLOCK_MAGIC == b"RBLC"
+
+
+# ---------------------------------------------------------------------------
+# byte accounting
+# ---------------------------------------------------------------------------
+
+
+class _Session:
+    def __init__(self):
+        self.raw = 0
+        self.disk = 0
+
+    def spilled(self, raw_bytes, disk_bytes):
+        self.raw += raw_bytes
+        self.disk += disk_bytes
+
+
+class TestByteAccounting:
+    RECORDS = [(i * 7) % 1000 for i in range(3000)]
+
+    def test_none_codec_raw_equals_disk(self, tmp_path):
+        session = _Session()
+        path = str(tmp_path / "plain.txt")
+        write_sequence(path, self.RECORDS, INT, 256, session=session)
+        import os
+
+        assert session.raw == session.disk == os.path.getsize(path)
+
+    @pytest.mark.parametrize("codec", ["zlib", "lzma", "front+zlib"])
+    def test_compressed_disk_below_raw(self, tmp_path, codec):
+        session = _Session()
+        path = str(tmp_path / "packed.dat")
+        write_sequence(
+            path, sorted(self.RECORDS), INT, 256, codec=codec,
+            session=session,
+        )
+        import os
+
+        assert session.disk == os.path.getsize(path)
+        assert session.disk < session.raw
+
+    def test_raw_is_codec_invariant(self, tmp_path):
+        """raw counts what codec=none would write, so ratios compare
+        like against like."""
+        sizes = {}
+        for codec in ("none", "zlib", "front"):
+            session = _Session()
+            write_sequence(
+                str(tmp_path / f"{codec.replace('+', '_')}.dat"),
+                self.RECORDS, INT, 256, codec=codec, session=session,
+            )
+            sizes[codec] = session.raw
+        assert len(set(sizes.values())) == 1
+
+    def test_write_block_file_reports_to_session(self, tmp_path):
+        session = _Session()
+        count, _ = write_block_file(
+            str(tmp_path / "f.dat"), self.RECORDS, INT, 256,
+            codec="zlib", session=session,
+        )
+        assert count == len(self.RECORDS)
+        assert 0 < session.disk < session.raw
+
+    def test_blockwriter_counters(self, tmp_path):
+        path = str(tmp_path / "w.dat")
+        with open_run(path, "w", INT, codec="zlib") as handle:
+            writer = BlockWriter(handle, INT, 128, codec="zlib")
+            writer.write_all(iter(self.RECORDS))
+            writer.flush()
+        import os
+
+        assert writer.disk_bytes == os.path.getsize(path)
+        assert writer.raw_bytes > writer.disk_bytes
+
+
+# ---------------------------------------------------------------------------
+# engine + report + fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSpillCodecs:
+    DATA = [((i * 613) % 5000) for i in range(4000)]
+
+    @pytest.mark.parametrize("codec", SPILL_CODECS)
+    def test_spilling_sort_identical_output(self, codec):
+        engine = SortEngine(
+            GeneratorSpec("lss", 256), fan_in=4, buffer_records=64,
+            block_records=64, spill_codec=codec,
+        )
+        assert list(engine.sort(iter(self.DATA))) == sorted(self.DATA)
+        report = engine.report
+        assert report.spill_disk_bytes > 0
+        if codec in ("zlib", "lzma", "front+zlib"):
+            assert report.spill_disk_bytes < report.spill_raw_bytes
+
+    def test_auto_codec_resolves_and_sorts(self):
+        engine = SortEngine(
+            GeneratorSpec("lss", 256), fan_in=4, buffer_records=64,
+            block_records=64, spill_codec=AUTO_CODEC,
+        )
+        assert list(engine.sort(iter(self.DATA))) == sorted(self.DATA)
+
+    def test_in_memory_sort_reports_no_spill(self):
+        engine = SortEngine(
+            GeneratorSpec("lss", 100_000), spill_codec="zlib",
+        )
+        out = list(engine.sort(iter(self.DATA)))
+        assert out == sorted(self.DATA)
+
+    def test_report_summary_line(self):
+        report = SortReport(
+            algorithm="LSS", records=10,
+            spill_raw_bytes=1000, spill_disk_bytes=400,
+        )
+        assert "spilled bytes raw=1000  on_disk=400  ratio=2.50" in (
+            report.summary()
+        )
+
+    def test_simulated_report_has_no_spill_line(self):
+        assert "spilled" not in SortReport(
+            algorithm="LSS", records=10
+        ).summary()
+
+    def test_operator_report_carries_spill_bytes(self):
+        base = SortReport(
+            algorithm="LSS", records=10,
+            spill_raw_bytes=900, spill_disk_bytes=300,
+        )
+        op = report_from_sort("distinct", base, rows_in=10, rows_out=9)
+        assert op.spill_raw_bytes == 900
+        assert op.spill_disk_bytes == 300
+        assert op.spill_ratio == 3.0
+
+
+class TestResumeFingerprints:
+    def test_codec_in_serial_fingerprint(self, tmp_path):
+        def fp(codec):
+            return ResumableSpillSort(
+                memory=32, work_dir=str(tmp_path / codec),
+                spill_codec=codec,
+            ).fingerprint()
+
+        assert fp("zlib")["codec"] == "zlib"
+        assert fp("zlib") != fp("lzma")
+
+    def test_codec_in_parallel_fingerprint(self, tmp_path):
+        sorter = PartitionedSort(
+            GeneratorSpec("rs", 64), workers=2, spill_codec="front",
+            work_dir=str(tmp_path / "w"),
+        )
+        assert sorter._fingerprint()["codec"] == "front"
+
+    def test_mixed_codec_work_dir_is_wiped(self, tmp_path):
+        """--resume must not merge runs written under another codec:
+        a codec change invalidates the journal and starts fresh."""
+        work = str(tmp_path)
+        fp_zlib = ResumableSpillSort(
+            memory=32, work_dir=work, spill_codec="zlib"
+        ).fingerprint()
+        fp_front = ResumableSpillSort(
+            memory=32, work_dir=work, spill_codec="front"
+        ).fingerprint()
+        SortJournal.open_dir(work, fp_zlib, resume=False).close()
+        stale = tmp_path / "run-000.txt"
+        stale.write_text("stale zlib run\n")
+        journal = SortJournal.open_dir(work, fp_front, resume=True)
+        journal.close()
+        assert not stale.exists()
+        assert [e["type"] for e in journal.entries] == ["meta"]
+
+
+# ---------------------------------------------------------------------------
+# planner codec row
+# ---------------------------------------------------------------------------
+
+
+class TestPlannerCodecRow:
+    def test_explicit_codec_passes_through(self):
+        for codec in SPILL_CODECS:
+            assert _resolve_codec(codec, None, 100, 10) == codec
+
+    def test_auto_single_pass_picks_front(self):
+        assert _resolve_codec(AUTO_CODEC, 500, 100, 10) == "front"
+
+    def test_auto_multi_pass_or_unknown_picks_front_zlib(self):
+        assert _resolve_codec(AUTO_CODEC, 5000, 100, 10) == "front+zlib"
+        assert _resolve_codec(AUTO_CODEC, None, 100, 10) == "front+zlib"
+
+    def test_lzma_never_chosen_automatically(self):
+        for records in (None, 10, 10_000, 10_000_000):
+            for memory in (1, 100, 100_000):
+                picked = _resolve_codec(AUTO_CODEC, records, memory, 10)
+                assert picked != "lzma"
+
+    def test_plan_in_memory_has_no_codec(self):
+        plan = plan_sort(memory=1000, input_records=10, codec=AUTO_CODEC)
+        assert plan.mode == "in_memory"
+        assert plan.codec is None
+
+    def test_plan_spill_resolves_auto(self):
+        plan = plan_sort(memory=100, input_records=50_000, codec=AUTO_CODEC)
+        assert plan.mode == "spill"
+        assert plan.codec == "front+zlib"
+
+    def test_plan_rejects_unknown_codec(self):
+        with pytest.raises(ValueError):
+            plan_sort(memory=100, codec="brotli")
