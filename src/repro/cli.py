@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import os
 import sys
 from contextlib import nullcontext
@@ -71,7 +72,7 @@ from repro.engine.block_io import (
 )
 from repro.engine.errors import SortError
 from repro.engine.merge_reading import READING_STRATEGIES
-from repro.engine.resilience import JOURNAL_NAME
+from repro.engine.resilience import JOURNAL_NAME, atomic_output
 from repro.engine.planner import AUTO_READING, SortEngine, spec_for_format
 from repro.engine.spill_codec import AUTO_CODEC, SPILL_CODECS
 from repro.experiments import EXPERIMENTS
@@ -127,9 +128,17 @@ def _open_input(path: Optional[str]) -> ContextManager[TextIO]:
 
 
 def _open_output(path: Optional[str]) -> ContextManager[TextIO]:
+    """stdout passthrough, or an atomic publish of ``path``.
+
+    Every file-bound subcommand (sort, merge, distinct, agg, join,
+    topk) publishes through :func:`~repro.engine.resilience
+    .atomic_output`: the output is written as ``path + ".tmp"`` and
+    renamed into place only after an fsync, so a job killed mid-final-
+    merge never leaves a truncated file at the target path.
+    """
     if path is None:
         return nullcontext(sys.stdout)
-    return open(path, "w", encoding="utf-8")
+    return atomic_output(path)
 
 
 def _durable_work_dir(
@@ -600,6 +609,146 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.paths)
 
 
+def _service_client(args: argparse.Namespace):
+    """A client for ``--server`` or the server's ``--endpoint-file``."""
+    from repro.service.client import ServiceClient, read_endpoint
+
+    if args.server:
+        return ServiceClient(args.server)
+    return ServiceClient(read_endpoint(args.endpoint_file))
+
+
+def _print_json(payload) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: asyncio/service machinery only loads for the
+    # service subcommands, not for plain sorts.
+    import asyncio
+
+    from repro.service.server import SortService
+
+    quotas = {}
+    for item in args.tenant_quota or ():
+        tenant, sep, limit = item.partition("=")
+        if not sep or not tenant or not limit.isdigit():
+            raise SystemExit(
+                f"--tenant-quota expects TENANT=RECORDS, got {item!r}"
+            )
+        quotas[tenant] = int(limit)
+    service = SortService(
+        args.spool,
+        host=args.host,
+        port=args.port,
+        total_memory=args.memory,
+        job_workers=args.job_workers,
+        tenant_quotas=quotas or None,
+        default_quota=args.default_quota,
+    )
+    try:
+        asyncio.run(service.run(endpoint_file=args.endpoint_file))
+    except KeyboardInterrupt:
+        # A Ctrl-C'd server is the crash-recovery story working as
+        # designed: jobs re-attach by id on the next serve.
+        return 130
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    if not args.id and not args.input:
+        sys.stderr.write("submit needs an input file (or --id)\n")
+        return 2
+    client = _service_client(args)
+    try:
+        if args.id:
+            payload = client.submit_id(args.id)
+        else:
+            # Abspath here, client-side: the server may well run in a
+            # different working directory than the submitting shell.
+            job = {
+                "op": args.op,
+                "input": os.path.abspath(args.input),
+                "tenant": args.tenant,
+                "memory": args.memory,
+                "algorithm": args.algorithm,
+                "fan_in": args.fan_in,
+                "format": args.format,
+                "binary_spill": args.binary_spill,
+                "spill_codec": args.spill_codec,
+                "checksum": args.checksum,
+            }
+            if args.output:
+                job["output"] = os.path.abspath(args.output)
+            if args.key is not None:
+                job["key"] = args.key
+            if args.right_key is not None:
+                job["right_key"] = args.right_key
+            if args.right_input:
+                job["right_input"] = os.path.abspath(args.right_input)
+            if args.by != "record":
+                job["by"] = args.by
+            if args.agg != ("count",):
+                job["aggregates"] = list(args.agg)
+            if args.value is not None:
+                job["value"] = args.value
+            if args.k:
+                job["k"] = args.k
+            payload = client.submit(job)
+        if args.wait:
+            payload = client.wait(payload["id"])
+    except (ServiceError, TimeoutError, ConnectionError) as exc:
+        sys.stderr.write(f"submit failed: {exc}\n")
+        return 1
+    _print_json(payload)
+    return 0 if payload.get("status") != "failed" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.id:
+            _print_json(client.status(args.id))
+        else:
+            _print_json(client.jobs())
+    except (ServiceError, ConnectionError) as exc:
+        sys.stderr.write(f"status failed: {exc}\n")
+        return 1
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        # _open_output publishes the local copy atomically too: a
+        # killed fetch must not leave a truncated file that looks done.
+        with _open_output(args.output) as sink:
+            client.result(args.id, sink)
+    except (ServiceError, ConnectionError) as exc:
+        sys.stderr.write(f"result failed: {exc}\n")
+        return 1
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        _print_json(client.cancel(args.id))
+    except (ServiceError, ConnectionError) as exc:
+        sys.stderr.write(f"cancel failed: {exc}\n")
+        return 1
+    return 0
+
+
 def _fan_in(text: str) -> int:
     value = int(text)
     if value < 2:
@@ -866,6 +1015,111 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories (default: src/ tests/)")
     p_lint.set_defaults(func=cmd_lint)
+
+    def add_server_address(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--server", default=None, metavar="HOST:PORT",
+                       help="address of a running repro serve instance")
+        p.add_argument("--endpoint-file", default="repro-service.json",
+                       help="endpoint file written by `repro serve`; used "
+                            "when --server is not given (default "
+                            "repro-service.json)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident sort service (DESIGN.md §16)",
+    )
+    p_serve.add_argument("--spool", default="repro-spool",
+                         help="directory for job specs, work dirs and "
+                              "results; re-attachable job state lives "
+                              "here across restarts (default repro-spool)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=_non_negative_int, default=0,
+                         help="TCP port (default 0 = pick a free one and "
+                              "publish it in --endpoint-file)")
+    p_serve.add_argument("--memory", type=_positive_int, default=100_000,
+                         help="total broker memory in records, shared by "
+                              "all running jobs (default 100000)")
+    p_serve.add_argument("--job-workers", type=_positive_int, default=8,
+                         help="concurrent job threads (default 8)")
+    p_serve.add_argument("--tenant-quota", action="append", default=None,
+                         metavar="TENANT=RECORDS",
+                         help="per-tenant memory cap; repeatable")
+    p_serve.add_argument("--default-quota", type=_positive_int,
+                         default=None,
+                         help="memory cap for tenants without an explicit "
+                              "--tenant-quota (default: no cap)")
+    p_serve.add_argument("--endpoint-file", default="repro-service.json",
+                         help="publish the bound host:port here, "
+                              "atomically (default repro-service.json)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running service; prints its status JSON",
+    )
+    add_server_address(p_submit)
+    p_submit.add_argument("--id", default=None,
+                          help="re-attach to a persisted job by id "
+                               "instead of sending a spec (crash "
+                               "recovery; resumes from its journal)")
+    p_submit.add_argument("--op", choices=("sort", "distinct", "agg",
+                                           "topk", "join"),
+                          default="sort")
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--memory", type=_positive_int, default=10_000)
+    p_submit.add_argument("--algorithm", choices=ALGORITHMS, default="2wrs")
+    p_submit.add_argument("--fan-in", type=_fan_in, default=8)
+    p_submit.add_argument("--format", choices=FORMAT_NAMES, default="int")
+    p_submit.add_argument("--key", type=_key_columns, default=None)
+    p_submit.add_argument("--right-key", type=_key_columns, default=None)
+    p_submit.add_argument("--right-input", default=None,
+                          help="right side of a join")
+    p_submit.add_argument("--by", choices=DISTINCT_MODES, default="record")
+    p_submit.add_argument("--agg", type=_aggregate_list,
+                          default=("count",))
+    p_submit.add_argument("--value", type=_non_negative_int, default=None)
+    p_submit.add_argument("-k", type=_non_negative_int, default=0)
+    p_submit.add_argument("--binary-spill", action="store_true")
+    p_submit.add_argument("--spill-codec",
+                          choices=(AUTO_CODEC,) + SPILL_CODECS,
+                          default="none")
+    p_submit.add_argument("--checksum", action="store_true")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job reaches a terminal "
+                               "state; exit 1 if it failed")
+    p_submit.add_argument("input", nargs="?", default=None,
+                          help="input file (not used with --id)")
+    p_submit.add_argument("-o", "--output", default=None,
+                          help="server-side output path (default: the "
+                               "job's spool directory)")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status",
+        help="status of one job (or all jobs) on a running service",
+    )
+    add_server_address(p_status)
+    p_status.add_argument("id", nargs="?", default=None,
+                          help="job id (omit to list every job)")
+    p_status.set_defaults(func=cmd_status)
+
+    p_result = sub.add_parser(
+        "result",
+        help="stream a finished job's output from a running service",
+    )
+    add_server_address(p_result)
+    p_result.add_argument("id", help="job id")
+    p_result.add_argument("-o", "--output", default=None,
+                          help="local file (default stdout); published "
+                               "atomically")
+    p_result.set_defaults(func=cmd_result)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job",
+    )
+    add_server_address(p_cancel)
+    p_cancel.add_argument("id", help="job id")
+    p_cancel.set_defaults(func=cmd_cancel)
 
     return parser
 

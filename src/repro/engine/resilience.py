@@ -48,6 +48,7 @@ import os
 import shutil
 import time
 import zlib
+from contextlib import contextmanager
 from itertools import islice
 from typing import (
     Any,
@@ -66,6 +67,7 @@ from repro.core.records import INT, RecordFormat
 from repro.engine.block_io import (
     BlockWriter,
     open_run,
+    open_text,
     validate_block_records,
     write_block_file,
 )
@@ -88,6 +90,7 @@ __all__ = [
     "MARKER_SUFFIX",
     "ResumableSpillSort",
     "SortJournal",
+    "atomic_output",
     "file_crc32",
     "read_marker",
     "write_marker",
@@ -138,6 +141,39 @@ def write_marker(path: str, payload: Dict[str, Any]) -> None:
         json.dump(payload, handle)
         handle.flush()
         os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@contextmanager
+def atomic_output(path: str) -> Iterator[TextIO]:
+    """Atomically publish a final output file (write → fsync → rename).
+
+    The §11 commit-point rule applied to the user-visible output
+    itself: the body writes ``path + ".tmp"`` — through the block-I/O
+    seam, so the fault harness can kill a publish mid-write — and only
+    after a flush and fsync does ``os.replace`` make it visible at
+    ``path``.  A crash, injected fault, or sort error at any earlier
+    moment leaves the target path exactly as it was (absent, or the
+    previous complete output) and removes the partial temp file; a
+    truncated file with exit-looking contents can never appear at the
+    published path.
+    """
+    tmp = path + ".tmp"
+    handle = open_text(tmp, "w")
+    try:
+        yield handle
+    except BaseException:
+        try:
+            handle.close()
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        raise
+    handle.flush()
+    os.fsync(handle.fileno())
+    handle.close()
     os.replace(tmp, path)
 
 

@@ -12,7 +12,8 @@ that calls ``request`` / ``request_or_enqueue`` / ``try_allocate`` on
 some receiver:
 
 * the function must also call ``release`` / ``release_and_regrant``
-  on the *same* receiver, and at least one such release must sit
+  / ``cancel_owner`` (the job-cancellation path releases *and*
+  retires the owner) on the *same* receiver, and at least one must sit
   inside a ``finally`` block or ``except`` handler — a straight-line
   release never runs when the sorting work in between raises; or
 * the granted amount must escape via ``return`` (an acquisition
@@ -40,7 +41,7 @@ from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, rule
 
 _REQUESTS = ("request", "request_or_enqueue", "try_allocate")
-_RELEASES = ("release", "release_and_regrant")
+_RELEASES = ("release", "release_and_regrant", "cancel_owner")
 
 
 def _in_scope(logical_path: str) -> bool:

@@ -7,8 +7,8 @@ Both guarantees die the moment core code consults an ambient source of
 entropy: an unseeded ``random`` call or a wall-clock read that leaks
 into output or control flow.
 
-Within ``repro/core``, ``repro/engine``, ``repro/merge`` and
-``repro/ops`` the rule flags:
+Within ``repro/core``, ``repro/engine``, ``repro/merge``,
+``repro/ops`` and ``repro/service`` the rule flags:
 
 * module-level ``random.X(...)`` calls (``random.random``,
   ``random.shuffle`` … share the hidden global generator).  A seeded
@@ -17,10 +17,14 @@ Within ``repro/core``, ``repro/engine``, ``repro/merge`` and
   from the OS and is flagged;
 * ``from random import <anything but Random>`` — the bare names make
   global-generator calls unreviewable at the call site;
-* wall-clock reads: ``time.time`` / ``time.time_ns`` and
-  ``datetime...now`` / ``utcnow`` / ``today``.  Monotonic measurement
-  (``perf_counter``, ``monotonic``) and ``sleep`` are fine — they time
-  work, they do not stamp output.
+* wall-clock reads: any ``X.time()`` / ``X.time_ns()`` call (not just
+  the literal ``time.time`` — an aliased module dodges a
+  spelled-out-name check) and ``datetime...now`` / ``utcnow`` /
+  ``today``.  Monotonic measurement (``perf_counter``, ``monotonic``)
+  and ``sleep`` are fine — they time work, they do not stamp output.
+  One carve-out: ``loop.time()`` — the asyncio event loop's clock is
+  monotonic by contract, and it is the sanctioned timestamp source for
+  the resident service.
 
 Report/bench code is deliberately out of scope (timings belong there),
 as are tests.
@@ -35,14 +39,23 @@ from repro.lint.astutil import dotted, last_component
 from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, rule
 
-_CORE_PACKAGES = ("core", "engine", "merge", "ops")
-_WALL_CLOCK = ("time.time", "time.time_ns")
+_CORE_PACKAGES = ("core", "engine", "merge", "ops", "service")
+_WALL_CLOCK_NAMES = ("time", "time_ns")
 _DATETIME_READS = ("now", "utcnow", "today")
+#: The asyncio event loop's clock is monotonic by contract; the
+#: resident service stamps uptime/latency with it, never wall time.
+_MONOTONIC_RECEIVERS = ("loop",)
 
 
 def _in_scope(logical_path: str) -> bool:
     path = logical_path.replace("\\", "/")
     return any(f"repro/{package}/" in path for package in _CORE_PACKAGES)
+
+
+def _is_monotonic_receiver(target: str) -> bool:
+    """``loop.time()`` (any ``*loop`` receiver) is monotonic, not wall."""
+    receiver = target.rsplit(".", 1)[0]
+    return receiver.split(".")[-1].endswith(_MONOTONIC_RECEIVERS)
 
 
 def _flag(ctx: FileContext, node: ast.AST, detail: str) -> Finding:
@@ -99,14 +112,18 @@ def check_determinism(ctx: FileContext) -> List[Finding]:
                     f"generator; use an injected random.Random(seed)",
                 )
             )
-        elif target in _WALL_CLOCK:
+        elif (
+            "." in target
+            and last_component(node.func) in _WALL_CLOCK_NAMES
+            and not _is_monotonic_receiver(target)
+        ):
             findings.append(
                 _flag(
                     ctx,
                     node,
                     f"{target}() reads the wall clock; use "
-                    f"time.perf_counter() for durations or accept a "
-                    f"clock parameter",
+                    f"time.perf_counter() for durations, loop.time() "
+                    f"on the event loop, or accept a clock parameter",
                 )
             )
         elif (

@@ -17,7 +17,14 @@ Statically, within each function of a ``resilience`` module:
   (which fsyncs internally);
 * once such an append exists in a function, any ``os.remove`` /
   ``unlink`` in that function must come *after* an append — deleting
-  first would reorder the invariant.
+  first would reorder the invariant;
+* every ``os.replace`` — the atomic-publish commit point used by both
+  the ``.ok`` shard markers and the final-output publish
+  (:func:`~repro.engine.resilience.atomic_output`) — must be preceded,
+  in source order, by a durability event in the same function.
+  Renaming an un-fsynced temp file into place publishes a name whose
+  bytes the page cache may still lose, which is exactly the truncated-
+  output bug the publish path exists to prevent.
 
 Appends without a ``"file"`` key (``meta``, ``runs_done``) reference
 no artifact and are exempt.  Source order is an approximation of
@@ -88,6 +95,7 @@ def check_durability_order(ctx: FileContext) -> List[Finding]:
         fsyncs: List[int] = []
         file_appends: List[int] = []
         deletes: List[int] = []
+        replaces: List[int] = []
         for node in scope.nodes():
             if not isinstance(node, ast.Call):
                 continue
@@ -99,6 +107,22 @@ def check_durability_order(ctx: FileContext) -> List[Finding]:
                 file_appends.append(node.lineno)
             elif last_component(node.func) in _DELETERS:
                 deletes.append(node.lineno)
+            elif dotted(node.func) == "os.replace":
+                replaces.append(node.lineno)
+        for line in replaces:
+            if not any(fsync_line < line for fsync_line in fsyncs):
+                findings.append(
+                    Finding(
+                        ctx.path,
+                        line,
+                        "R003",
+                        "os.replace publishes a file with no preceding "
+                        "fsync in this function — the rename makes a "
+                        "name visible whose bytes the page cache may "
+                        "still lose (§11 write→fsync→rename publish "
+                        "order)",
+                    )
+                )
         for line in file_appends:
             if not any(fsync_line < line for fsync_line in fsyncs):
                 findings.append(

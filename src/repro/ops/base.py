@@ -20,6 +20,7 @@ from repro.sort.external import SortReport
 __all__ = [
     "OperatorReport",
     "CountingIterator",
+    "report_as_dict",
     "report_from_sort",
     "close_stream",
 ]
@@ -110,6 +111,43 @@ def report_from_sort(
         matches=matches,
         skew_spills=skew_spills,
     )
+
+
+def report_as_dict(report: Optional[SortReport]) -> Optional[dict]:
+    """A JSON-safe dict of a sort/operator report (service ``status``).
+
+    The resident service streams per-job reports over its JSON
+    protocol; this is the one serialisation both
+    :class:`~repro.sort.external.SortReport` and
+    :class:`OperatorReport` share, so every job — plain sort or
+    relational operator — reports through the same shape.  Wall times
+    are included (they are measurements *about* the job, not contents
+    *of* its output, so determinism is untouched); simulated-cost
+    fields stay out, they mean nothing for a real service run.
+    """
+    if report is None:
+        return None
+    data = {
+        "algorithm": report.algorithm,
+        "records": report.records,
+        "runs": report.runs,
+        "average_run_length": report.average_run_length,
+        "run_wall_s": report.run_phase.wall_time,
+        "merge_wall_s": report.merge_phase.wall_time,
+        "spill_raw_bytes": report.spill_raw_bytes,
+        "spill_disk_bytes": report.spill_disk_bytes,
+        "spill_ratio": report.spill_ratio,
+    }
+    if isinstance(report, OperatorReport):
+        data.update(
+            operator=report.operator,
+            rows_in=report.rows_in,
+            rows_out=report.rows_out,
+            groups=report.groups,
+            matches=report.matches,
+            skew_spills=report.skew_spills,
+        )
+    return data
 
 
 def executed_plan(initial_plan: Any, engine: Any) -> Any:

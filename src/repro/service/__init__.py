@@ -1,0 +1,29 @@
+"""Resident sort service (DESIGN.md §16).
+
+One long-running asyncio process accepts sort/distinct/agg/join/topk
+jobs over a small length-prefixed JSON protocol, runs each through the
+existing :class:`~repro.engine.planner.SortEngine`, and multiplexes all
+job memory through one :class:`~repro.sort.memory_broker.MemoryBroker`
+— the paper's dynamic-memory policy promoted from simulation
+(``ConcurrentSortSimulator``) to production admission control with
+per-tenant quotas.
+
+Jobs have stable content-derived ids: resubmitting the same spec (or
+just the id) after a crash re-attaches to the job's durable work
+directory and resumes from its §11 sort journal instead of starting
+over.
+"""
+
+from repro.service.client import ServiceClient, read_endpoint
+from repro.service.jobs import JobSpec, job_id_for
+from repro.service.scheduler import JobScheduler
+from repro.service.server import SortService
+
+__all__ = [
+    "JobScheduler",
+    "JobSpec",
+    "ServiceClient",
+    "SortService",
+    "job_id_for",
+    "read_endpoint",
+]

@@ -1,0 +1,434 @@
+"""Job scheduling over the shared memory broker (DESIGN.md §16).
+
+The scheduler is the production promotion of the paper's
+``ConcurrentSortSimulator``: instead of simulated round-robin slices,
+real jobs run in a thread pool and compete for one
+:class:`~repro.sort.memory_broker.MemoryBroker` pool using the same
+five-situation policy — every admission request enters the queue as
+``ABOUT_TO_START`` (the policy's highest priority: give jobs a chance
+to start, so tiny sorts finish while a huge one spills), grants are
+all-or-nothing so a waiting job can never deadlock holding a partial
+budget, and releases regrant atomically in priority order.
+
+Per-tenant quotas sit *above* the broker: a tenant's jobs never hold
+more than its quota in total, so one tenant's spill storm cannot
+starve the rest of the pool (the quota also clamps a single job's ask
+— the sorted output is identical for any memory budget, only run
+counts change).
+
+Job lifecycle::
+
+    queued -> waiting -> running -> done | failed | cancelled
+
+Every job is durable: ``job.json`` is persisted (atomically) at
+submit, the engine work directory rides the §11 sort journal, and the
+terminal status is persisted as ``status.json``.  After a crash the
+spool is rescanned: finished jobs answer ``status``/``result``
+immediately, interrupted ones re-attach by id and resume from their
+journal.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.errors import SortError
+from repro.engine.resilience import read_marker, write_marker
+from repro.service.jobs import JobSpec, job_id_for
+from repro.service.runner import JobCancelled, JobOutcome, run_job
+from repro.sort.memory_broker import MemoryBroker, WaitSituation
+
+__all__ = ["JobScheduler", "JobState"]
+
+#: Seconds between admission re-checks while a job waits for memory
+#: (wakeups also arrive on every release, this is only the backstop).
+_ADMISSION_POLL_S = 0.05
+
+#: Job states that will never change again.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class JobState:
+    """One job's live record inside the scheduler."""
+
+    spec: JobSpec
+    job_id: str
+    status: str = "queued"
+    attempt: int = 0
+    error: Optional[str] = None
+    outcome: Optional[JobOutcome] = None
+    granted: int = 0
+    cancel: threading.Event = field(default_factory=threading.Event)
+    created_m: float = 0.0
+    started_m: float = 0.0
+    finished_m: float = 0.0
+
+    def owner(self) -> str:
+        """Broker owner key — unique per attempt, so a cancelled
+        attempt's retirement never blocks a later resubmission."""
+        return f"{self.job_id}#{self.attempt}"
+
+
+class JobScheduler:
+    """Run jobs through the engine under one shared memory pool.
+
+    Parameters
+    ----------
+    spool:
+        Directory holding one subdirectory per job (spec, work dir,
+        published result, terminal status).
+    total_memory:
+        The shared pool, in records — the service-wide analogue of the
+        CLI's ``--memory``.
+    job_workers:
+        Worker threads; also the bound on jobs *admitted or waiting*
+        at once (queued jobs wait for a thread first).
+    tenant_quotas:
+        Per-tenant memory caps in records; tenants not listed get
+        ``default_quota`` (the whole pool when that is None too).
+    """
+
+    def __init__(
+        self,
+        spool: str,
+        total_memory: int = 100_000,
+        job_workers: int = 8,
+        tenant_quotas: Optional[Dict[str, int]] = None,
+        default_quota: Optional[int] = None,
+    ) -> None:
+        if total_memory < 1:
+            raise ValueError(f"total_memory must be >= 1, got {total_memory}")
+        self.spool = os.path.abspath(spool)
+        self.jobs_dir = os.path.join(self.spool, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.total_memory = total_memory
+        self.broker = MemoryBroker(total_memory)
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.default_quota = default_quota
+        self._tenant_used: Dict[str, int] = {}
+        self._jobs: Dict[str, JobState] = {}
+        self._admission = threading.Condition()
+        self._lock = threading.RLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job"
+        )
+        self._shut_down = False
+        self._scan_spool()
+
+    # -- submission and queries ------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobState:
+        """Submit (or re-attach to) the job with ``spec``'s identity.
+
+        Idempotent by content id: an already queued/waiting/running or
+        finished job is returned as-is; a failed, cancelled, or
+        interrupted one is requeued as a fresh attempt that resumes
+        from the surviving journal.
+        """
+        spec.validate()
+        job_id = job_id_for(spec)
+        with self._lock:
+            if self._shut_down:
+                raise RuntimeError("scheduler is shut down")
+            state = self._jobs.get(job_id)
+            if state is not None and state.status not in (
+                "failed", "cancelled", "interrupted"
+            ):
+                return state
+            if state is None:
+                state = JobState(spec=spec, job_id=job_id)
+                self._jobs[job_id] = state
+            state.attempt += 1
+            state.status = "queued"
+            state.error = None
+            state.cancel = threading.Event()
+            state.created_m = time.monotonic()
+            self._persist_spec(state)
+            self._executor.submit(self._run, state)
+            return state
+
+    def submit_id(self, job_id: str) -> Optional[JobState]:
+        """Re-attach to ``job_id`` from its persisted spec (crash path)."""
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is not None and state.status not in (
+                "failed", "cancelled", "interrupted"
+            ):
+                return state
+        spec = self._load_spec(job_id)
+        if spec is None:
+            return None
+        return self.submit(spec)
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is None:
+                return None
+            return self._status_payload(state)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "id": state.job_id,
+                    "op": state.spec.op,
+                    "tenant": state.spec.tenant,
+                    "status": state.status,
+                }
+                for state in sorted(
+                    self._jobs.values(), key=lambda s: s.created_m
+                )
+            ]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when the job can still react."""
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is None or state.status in TERMINAL_STATES:
+                return False
+            state.cancel.set()
+        # Wake an admission waiter immediately (it checks the event
+        # first); a running job notices at its next stream batch.
+        with self._admission:
+            self._admission.notify_all()
+        return True
+
+    def result_path(self, job_id: str) -> Optional[str]:
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is None:
+                return None
+            return self._result_path_for(state.spec, state.job_id)
+
+    def shutdown(self) -> None:
+        """Cancel everything still moving and reap the worker threads."""
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            states = list(self._jobs.values())
+        for state in states:
+            if state.status not in TERMINAL_STATES:
+                state.cancel.set()
+        with self._admission:
+            self._admission.notify_all()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- the worker-thread body ------------------------------------------------
+
+    def _run(self, state: JobState) -> None:
+        owner = state.owner()
+        granted = 0
+        try:
+            self._set_status(state, "waiting")
+            granted = self._acquire(state, owner)
+            state.granted = granted
+            state.started_m = time.monotonic()
+            self._set_status(state, "running")
+            job_dir = self._job_dir(state.job_id)
+            outcome = run_job(
+                state.spec,
+                memory=granted,
+                work_dir=os.path.join(job_dir, "work"),
+                result_path=self._result_path_for(state.spec, state.job_id),
+                cancel=state.cancel,
+                job_id=state.job_id,
+            )
+            state.outcome = outcome
+            self._finish(state, "done")
+        except JobCancelled:
+            self._finish(state, "cancelled")
+        except (SortError, OSError, ValueError, RuntimeError) as exc:
+            state.error = str(exc)
+            self._finish(state, "failed")
+        finally:
+            self.broker.release_and_regrant(owner)
+            with self._admission:
+                if granted:
+                    tenant = state.spec.tenant
+                    self._tenant_used[tenant] = (
+                        self._tenant_used.get(tenant, 0) - granted
+                    )
+                self._admission.notify_all()
+
+    def _acquire(self, state: JobState, owner: str) -> int:
+        """Block until the broker grants this job's budget.
+
+        All-or-nothing: the ask is the spec's memory clamped by the
+        tenant quota and pool size, requested as ``ABOUT_TO_START``
+        with ``maximum`` equal to the ask so a re-request can never
+        overshoot.  On cancellation the owner is *retired* via
+        ``cancel_owner`` — the one atomic step that drops the queue
+        entry, returns anything already granted, and guarantees no
+        posthumous grant can leak pool budget.
+        """
+        tenant = state.spec.tenant
+        quota = self._quota(tenant)
+        amount = max(1, min(state.spec.memory, quota, self.total_memory))
+        try:
+            while True:
+                if state.cancel.is_set():
+                    raise JobCancelled(f"job {state.job_id} cancelled")
+                with self._admission:
+                    used = self._tenant_used.get(tenant, 0)
+                    granted = 0
+                    if used + amount <= quota:
+                        granted = self.broker.allocated_to(owner)
+                        if granted < amount:
+                            granted += self.broker.request_or_enqueue(
+                                owner,
+                                amount - granted,
+                                WaitSituation.ABOUT_TO_START,
+                                maximum=amount,
+                            )
+                    if granted >= amount:
+                        self._tenant_used[tenant] = used + granted
+                        return granted
+                    self._admission.wait(timeout=_ADMISSION_POLL_S)
+        except JobCancelled:
+            # Retire the owner atomically: releases any racing grant
+            # and blocks every later one (the posthumous-grant fix).
+            self.broker.cancel_owner(owner)
+            raise
+
+    def _quota(self, tenant: str) -> int:
+        quota = self.tenant_quotas.get(tenant, self.default_quota)
+        if quota is None:
+            quota = self.total_memory
+        return max(1, min(quota, self.total_memory))
+
+    # -- persistence -----------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _result_path_for(self, spec: JobSpec, job_id: str) -> str:
+        return spec.output or os.path.join(self._job_dir(job_id), "OUTPUT")
+
+    def _persist_spec(self, state: JobState) -> None:
+        job_dir = self._job_dir(state.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        write_marker(
+            os.path.join(job_dir, "job.json"),
+            {"id": state.job_id, "job": state.spec.to_payload()},
+        )
+        # A rerun invalidates any previous terminal status.
+        try:
+            os.remove(os.path.join(job_dir, "status.json"))
+        except OSError:
+            pass
+
+    def _load_spec(self, job_id: str) -> Optional[JobSpec]:
+        payload = read_marker(os.path.join(self._job_dir(job_id), "job.json"))
+        if payload is None or payload.get("id") != job_id:
+            return None
+        try:
+            return JobSpec.from_payload(payload.get("job", {}))
+        except ValueError:
+            return None
+
+    def _set_status(self, state: JobState, status: str) -> None:
+        with self._lock:
+            state.status = status
+
+    def _finish(self, state: JobState, status: str) -> None:
+        with self._lock:
+            state.status = status
+            state.finished_m = time.monotonic()
+            payload = self._status_payload(state)
+        write_marker(
+            os.path.join(self._job_dir(state.job_id), "status.json"), payload
+        )
+
+    def _status_payload(self, state: JobState) -> Dict[str, Any]:
+        outcome = state.outcome
+        waited = (
+            (state.started_m - state.created_m)
+            if state.started_m
+            else 0.0
+        )
+        ran = (
+            (state.finished_m - state.started_m)
+            if state.finished_m and state.started_m
+            else 0.0
+        )
+        return {
+            "id": state.job_id,
+            "status": state.status,
+            "op": state.spec.op,
+            "tenant": state.spec.tenant,
+            "attempt": state.attempt,
+            "memory": state.spec.memory,
+            "granted": state.granted,
+            "output": self._result_path_for(state.spec, state.job_id),
+            "error": state.error,
+            "records_out": outcome.records_out if outcome else 0,
+            "report": outcome.report if outcome else None,
+            "resume": {
+                "runs_reused": outcome.runs_reused if outcome else 0,
+                "merges_reused": outcome.merges_reused if outcome else 0,
+                "shards_reused": outcome.shards_reused if outcome else 0,
+            },
+            "waited_s": round(waited, 6),
+            "ran_s": round(ran, 6),
+        }
+
+    def _scan_spool(self) -> None:
+        """Reload job records left by a previous (crashed) server.
+
+        Jobs with a persisted terminal status answer ``status`` and
+        ``result`` straight away; anything else found on disk — a spec
+        whose run never finished — surfaces as ``interrupted`` and is
+        re-attachable by id.
+        """
+        try:
+            entries = sorted(os.listdir(self.jobs_dir))
+        except OSError:
+            return
+        for job_id in entries:
+            spec = self._load_spec(job_id)
+            if spec is None:
+                continue
+            state = JobState(spec=spec, job_id=job_id)
+            payload = read_marker(
+                os.path.join(self._job_dir(job_id), "status.json")
+            )
+            if payload is not None and payload.get("status") in TERMINAL_STATES:
+                state.status = str(payload["status"])
+                state.attempt = int(payload.get("attempt", 1))
+                state.error = payload.get("error")
+                state.granted = int(payload.get("granted", 0))
+                outcome = JobOutcome(
+                    records_out=int(payload.get("records_out", 0)),
+                    report=payload.get("report"),
+                )
+                resume = payload.get("resume") or {}
+                outcome.runs_reused = int(resume.get("runs_reused", 0))
+                outcome.merges_reused = int(resume.get("merges_reused", 0))
+                outcome.shards_reused = int(resume.get("shards_reused", 0))
+                state.outcome = outcome
+            else:
+                state.status = "interrupted"
+            self._jobs[job_id] = state
+
+    # -- maintenance -----------------------------------------------------------
+
+    def remove_job(self, job_id: str) -> bool:
+        """Drop a terminal job's record and spool directory (tests)."""
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is None or state.status not in (
+                *TERMINAL_STATES, "interrupted"
+            ):
+                return False
+            del self._jobs[job_id]
+        shutil.rmtree(self._job_dir(job_id), ignore_errors=True)
+        return True

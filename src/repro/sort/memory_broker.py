@@ -77,6 +77,10 @@ class MemoryBroker:
         # (situation, order, owner, amount, maximum) — one entry per owner.
         self._waiting: List[tuple] = []
         self._order = 0
+        #: Owners retired by cancel_owner(); they can never be granted
+        #: again — a cancelled waiter has nobody left to release what
+        #: it would be granted (the posthumous-grant budget leak).
+        self._cancelled: set = set()
         self._lock = threading.RLock()
 
     @property
@@ -106,10 +110,16 @@ class MemoryBroker:
             return self.activity
 
     def try_allocate(self, owner: Any, amount: int) -> bool:
-        """Grant ``amount`` more records to ``owner`` if available."""
+        """Grant ``amount`` more records to ``owner`` if available.
+
+        A cancelled owner is always refused: granting it would leak the
+        records forever, because the canceller already walked away.
+        """
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
         with self._lock:
+            if owner in self._cancelled:
+                return False
             if amount > self.free:
                 return False
             self.allocated[owner] = self.allocated.get(owner, 0) + amount
@@ -147,9 +157,12 @@ class MemoryBroker:
         quantum cannot stack requests and be granted several times
         over.  ``maximum`` caps the owner's *total* allocation — at
         grant time the request is clamped to ``maximum - allocated``
-        and dropped when the owner is already at its cap.
+        and dropped when the owner is already at its cap.  Cancelled
+        owners are never (re-)enqueued.
         """
         with self._lock:
+            if owner in self._cancelled:
+                return
             for i, (_, order, pending_owner, _, _) in enumerate(self._waiting):
                 if pending_owner == owner:
                     self._waiting[i] = (situation, order, owner, amount, maximum)
@@ -160,7 +173,13 @@ class MemoryBroker:
             )
 
     def grant_waiting(self) -> List[Any]:
-        """Serve waiting processes in priority order; return the granted."""
+        """Serve waiting processes in priority order; return the granted.
+
+        Entries whose owner was cancelled while enqueued are dropped,
+        never granted: the cancelled job's thread is gone, so a
+        posthumous grant could not be released by anyone and would
+        shrink the pool for every later job.
+        """
         granted: List[Any] = []
         remaining: List[tuple] = []
         with self._lock:
@@ -168,6 +187,8 @@ class MemoryBroker:
             rank = {situation: i for i, situation in enumerate(PRIORITY_ORDER)}
             self._waiting.sort(key=lambda w: (rank[w[0]], w[1]))
             for situation, order, owner, amount, maximum in self._waiting:
+                if owner in self._cancelled:
+                    continue  # retired while waiting; drop the request
                 if maximum is not None:
                     amount = min(
                         amount, maximum - self.allocated.get(owner, 0)
@@ -201,9 +222,13 @@ class MemoryBroker:
         everybody.  ``maximum`` caps the owner's *total* allocation,
         exactly as at :meth:`grant_waiting` time — the immediate-grant
         path must clamp against what the owner already holds or a
-        re-requesting owner could be pushed past its cap.
+        re-requesting owner could be pushed past its cap.  A cancelled
+        owner gets 0 and is not enqueued — the caller observed the
+        cancellation race and must stop waiting.
         """
         with self._lock:
+            if owner in self._cancelled:
+                return 0
             if maximum is not None:
                 amount = min(amount, maximum - self.allocated.get(owner, 0))
                 if amount <= 0:
@@ -234,6 +259,33 @@ class MemoryBroker:
             ]
             self.release(owner, amount)
             return self.grant_waiting()
+
+    def cancel_owner(self, owner: Any) -> int:
+        """Retire ``owner`` for good and recycle whatever it held.
+
+        One atomic step: mark the owner cancelled (every later
+        ``try_allocate``/``enqueue``/``request_or_enqueue`` refuses it),
+        drop its wait-queue entry, release any records it already held,
+        and regrant them to the survivors.  This is the job-cancellation
+        path of the resident service: the cancelling thread races the
+        grant path, and without the cancelled mark a release landing in
+        between could still grant the dead waiter — leaking that budget
+        until the broker dies.  Returns the records released.
+        """
+        with self._lock:
+            self._cancelled.add(owner)
+            self._waiting = [
+                entry for entry in self._waiting if entry[2] != owner
+            ]
+            released = self.allocated.get(owner, 0)
+            self.release(owner)
+            self.grant_waiting()
+            return released
+
+    def is_cancelled(self, owner: Any) -> bool:
+        """True when ``owner`` was retired by :meth:`cancel_owner`."""
+        with self._lock:
+            return owner in self._cancelled
 
     @property
     def waiting(self) -> List[Any]:
@@ -276,16 +328,26 @@ class SharedMemoryBroker:
     def __init__(self, total: int, mp_context: str = "spawn") -> None:
         if total < 1:
             raise ValueError(f"total must be >= 1, got {total}")
-        self._manager = _BrokerManager(
-            ctx=multiprocessing.get_context(mp_context)
-        )
-        self._manager.start()
-        #: Picklable proxy; pass it to worker processes.
-        self.proxy = self._manager.MemoryBroker(total)
+        self._manager: Optional[_BrokerManager] = None
+        manager = _BrokerManager(ctx=multiprocessing.get_context(mp_context))
+        manager.start()
+        self._manager = manager
+        try:
+            #: Picklable proxy; pass it to worker processes.
+            self.proxy = self._manager.MemoryBroker(total)
+        except BaseException:
+            # A failure between manager start and __enter__ (proxy
+            # creation, a caller raising before its with-block) must
+            # not orphan the manager process.
+            self.shutdown()
+            raise
 
     def shutdown(self) -> None:
-        """Stop the manager process (idempotent)."""
-        self._manager.shutdown()
+        """Stop the manager process (idempotent; safe to call twice)."""
+        manager, self._manager = self._manager, None
+        if manager is None:
+            return
+        manager.shutdown()
 
     def __enter__(self) -> "SharedMemoryBroker":
         return self

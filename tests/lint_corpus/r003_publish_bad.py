@@ -1,0 +1,7 @@
+# repro-lint-corpus: src/repro/engine/resilience.py
+# expect: R003:7
+"""Known-bad publish: rename with no fsync — §11 write→fsync→rename."""
+
+
+def publish_without_fsync(tmp, path):
+    os.replace(tmp, path)

@@ -1,0 +1,14 @@
+# repro-lint-corpus: src/repro/engine/resilience.py
+# expect: none
+"""Known-good publish: write → fsync → rename into place."""
+
+
+def publish(handle, tmp, path):
+    handle.flush()
+    os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def marker_publish(tmp, path, payload):
+    write_marker(tmp, payload)
+    os.replace(tmp, path)

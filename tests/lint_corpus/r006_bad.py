@@ -1,8 +1,9 @@
 # repro-lint-corpus: src/repro/core/r006_example_bad.py
-# expect: R006:8
-# expect: R006:12
-# expect: R006:16
-# expect: R006:20
+# expect: R006:9
+# expect: R006:13
+# expect: R006:17
+# expect: R006:21
+# expect: R006:25
 """Known-bad: ambient entropy and wall clock in the sort core."""
 
 from random import randint
@@ -18,3 +19,7 @@ def self_seeded():
 
 def stamped():
     return time.time()
+
+
+def aliased(clock):
+    return clock.time_ns()

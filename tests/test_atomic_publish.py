@@ -1,0 +1,163 @@
+"""Atomic output publish: a killed job never leaves a partial output.
+
+Before this regression suite, every CLI subcommand streamed records
+straight into the user's output path — a crash mid-final-merge left a
+file that *looked* like a finished sort but held a prefix of it.  The
+fix routes every publish through
+:func:`repro.engine.resilience.atomic_output` (write ``OUTPUT.tmp``,
+fsync, ``os.replace``), for the serial CLI and the resident service
+alike; these tests inject write faults at the publish seam and assert
+the output path either holds the complete result or does not exist —
+never anything in between (and never a stray ``.tmp``).
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine.errors import SortError
+from repro.testing.faults import FaultInjected, FaultPlan, activate
+
+
+def _values(tmp_path, name="in.txt", n=400):
+    path = tmp_path / name
+    values = [(7 * i) % n for i in range(n)]
+    path.write_text("\n".join(str(v) for v in values) + "\n")
+    return path, values
+
+
+def _publish_fault(out_path, nth=1):
+    """A write fault aimed at the atomic-publish temp file only."""
+    return FaultPlan(
+        op="write", nth=nth, kind="raise",
+        path_substring=os.path.basename(str(out_path)) + ".tmp",
+    )
+
+
+def _assert_nothing_published(out_path):
+    assert not os.path.exists(out_path), "partial output escaped"
+    assert not os.path.exists(str(out_path) + ".tmp"), "tmp file leaked"
+
+
+class TestSerialCliPublish:
+    def test_sort_success_replaces_atomically(self, tmp_path, capsys):
+        path, values = _values(tmp_path)
+        out = tmp_path / "out.txt"
+        assert main(["sort", "--memory", "64", str(path),
+                     "-o", str(out)]) == 0
+        got = [int(line) for line in out.read_text().splitlines()]
+        assert got == sorted(values)
+        assert not os.path.exists(str(out) + ".tmp")
+
+    def test_sort_faulted_publish_leaves_nothing(self, tmp_path, capsys):
+        path, _ = _values(tmp_path)
+        out = tmp_path / "out.txt"
+        with activate(_publish_fault(out)):
+            code = main(["sort", "--memory", "64", str(path),
+                         "-o", str(out)])
+        assert code != 0
+        _assert_nothing_published(out)
+
+    def test_sort_fault_mid_final_merge_leaves_nothing(
+        self, tmp_path, capsys
+    ):
+        # nth=3: let a couple of result blocks land first, then die —
+        # the partially-written tmp must be discarded, not published.
+        path, _ = _values(tmp_path, n=2000)
+        out = tmp_path / "out.txt"
+        with activate(_publish_fault(out, nth=3)):
+            code = main(["sort", "--memory", "64", "--block-records", "128",
+                         str(path), "-o", str(out)])
+        assert code != 0
+        _assert_nothing_published(out)
+
+    @pytest.mark.parametrize(
+        "argv_tail",
+        [
+            ["distinct"],
+            ["agg", "--agg", "count"],
+            ["topk", "-k", "5"],
+        ],
+        ids=["distinct", "agg", "topk"],
+    )
+    def test_operator_faulted_publish_leaves_nothing(
+        self, tmp_path, argv_tail, capsys
+    ):
+        path, _ = _values(tmp_path)
+        out = tmp_path / "out.txt"
+        argv = argv_tail + ["--memory", "64", str(path), "-o", str(out)]
+        with activate(_publish_fault(out)):
+            code = main(argv)
+        assert code != 0
+        _assert_nothing_published(out)
+
+    def test_join_faulted_publish_leaves_nothing(self, tmp_path, capsys):
+        left, _ = _values(tmp_path, "left.txt", n=50)
+        right, _ = _values(tmp_path, "right.txt", n=50)
+        out = tmp_path / "joined.txt"
+        with activate(_publish_fault(out)):
+            code = main(["join", "--memory", "64", str(left), str(right),
+                         "-o", str(out)])
+        assert code != 0
+        _assert_nothing_published(out)
+
+    def test_merge_faulted_publish_leaves_nothing(self, tmp_path, capsys):
+        sorted_a = tmp_path / "a.txt"
+        sorted_b = tmp_path / "b.txt"
+        sorted_a.write_text("\n".join(str(v) for v in range(0, 100, 2)) + "\n")
+        sorted_b.write_text("\n".join(str(v) for v in range(1, 100, 2)) + "\n")
+        out = tmp_path / "merged.txt"
+        with activate(_publish_fault(out)):
+            code = main(["merge", str(sorted_a), str(sorted_b),
+                         "-o", str(out)])
+        assert code != 0
+        _assert_nothing_published(out)
+
+    def test_stdout_path_is_untouched_by_publish(self, tmp_path, capsys):
+        # No -o: output goes to stdout, no tmp machinery involved.
+        path, values = _values(tmp_path, n=50)
+        assert main(["sort", "--memory", "64", str(path)]) == 0
+        got = [int(line) for line in capsys.readouterr().out.split()]
+        assert got == sorted(values)
+
+
+class TestServicePublish:
+    """The same guarantee through the service runner's publish path."""
+
+    def test_run_job_faulted_publish_leaves_nothing(self, tmp_path):
+        from repro.service.jobs import JobSpec
+        from repro.service.runner import run_job
+
+        path, _ = _values(tmp_path)
+        result = tmp_path / "jobs" / "OUTPUT"
+        result.parent.mkdir()
+        spec = JobSpec(op="sort", input=str(path), memory=64)
+        with activate(_publish_fault(result)):
+            with pytest.raises((FaultInjected, SortError)):
+                run_job(
+                    spec, memory=64, work_dir=str(tmp_path / "work"),
+                    result_path=str(result), job_id="j1",
+                )
+        _assert_nothing_published(result)
+
+    def test_run_job_success_then_rerun_is_identical(self, tmp_path):
+        from repro.service.jobs import JobSpec
+        from repro.service.runner import run_job
+
+        path, values = _values(tmp_path)
+        result = tmp_path / "OUTPUT"
+        spec = JobSpec(op="sort", input=str(path), memory=64)
+        outcome = run_job(
+            spec, memory=64, work_dir=str(tmp_path / "work"),
+            result_path=str(result), job_id="j1",
+        )
+        assert outcome.records_out == len(values)
+        first = result.read_bytes()
+        assert [int(v) for v in first.split()] == sorted(values)
+        run_job(
+            spec, memory=64, work_dir=str(tmp_path / "work2"),
+            result_path=str(result), job_id="j1",
+        )
+        assert result.read_bytes() == first

@@ -396,3 +396,126 @@ class TestTinyPoolTermination:
         outcome = self._run_guarded(sim)
         assert "error" not in outcome
         assert all(t is not None for t in outcome["result"].values())
+
+
+class TestCancelledOwners:
+    """Posthumous-grant regressions: a cancelled owner never holds memory.
+
+    The resident service cancels jobs that may be anywhere in the
+    broker lifecycle — enqueued, mid-grant, or holding memory.  Before
+    ``cancel_owner`` existed, a waiter cancelled between ``enqueue``
+    and the next ``grant_waiting`` would still be granted memory that
+    nobody would ever release (the worker had already unwound).
+    """
+
+    def test_cancel_owner_releases_and_retires(self):
+        broker = MemoryBroker(100)
+        assert broker.try_allocate("job", 60)
+        released = broker.cancel_owner("job")
+        assert released == 60
+        assert broker.allocated_to("job") == 0
+        assert broker.free == 100
+        assert broker.is_cancelled("job")
+        # Retired for good: every grant path refuses it from now on.
+        assert not broker.try_allocate("job", 1)
+        assert broker.request_or_enqueue("job", 1) == 0
+        broker.enqueue("job", 1, WaitSituation.ABOUT_TO_START)
+        assert broker.waiting == []
+
+    def test_no_posthumous_grant_via_release_and_regrant(self):
+        broker = MemoryBroker(100)
+        assert broker.try_allocate("holder", 100)
+        assert broker.request_or_enqueue("victim", 50) == 0  # enqueued
+        broker.cancel_owner("victim")
+        # The release that would have granted the victim its memory.
+        broker.release_and_regrant("holder")
+        assert broker.allocated_to("victim") == 0
+        assert broker.free == 100
+        assert broker.waiting == []
+
+    def test_grant_waiting_skips_cancelled_entry_atomically(self):
+        broker = MemoryBroker(100)
+        assert broker.try_allocate("holder", 100)
+        assert broker.request_or_enqueue("dead", 40) == 0
+        assert broker.request_or_enqueue("alive", 40) == 0
+        # Cancel after both are queued: the grant must skip the dead
+        # owner and still serve the live one behind it.
+        broker.cancel_owner("dead")
+        broker.release_and_regrant("holder")
+        assert broker.allocated_to("dead") == 0
+        assert broker.allocated_to("alive") == 40
+
+    @pytest.mark.parametrize("rounds", [200])
+    def test_cancel_while_enqueued_hammer(self, rounds):
+        """Race cancel against the regrant path; no grant may survive.
+
+        One holder thread churns the full pool (its every release
+        triggers ``grant_waiting``); victims enqueue and are cancelled
+        concurrently.  Any interleaving that lets a cancelled victim
+        keep memory leaks it forever — the test asserts the pool comes
+        back whole.
+        """
+        broker = MemoryBroker(100)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                if broker.try_allocate("holder", 100):
+                    broker.release_and_regrant("holder")
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for round_no in range(rounds):
+                victim = f"victim-{round_no}"
+                broker.request_or_enqueue(victim, 100)
+                broker.cancel_owner(victim)
+                assert broker.allocated_to(victim) == 0, victim
+        finally:
+            stop.set()
+            churner.join(timeout=10.0)
+        assert not churner.is_alive()
+        broker.release("holder")
+        assert broker.free == 100
+        assert broker.waiting == []
+
+
+class TestSharedBrokerShutdown:
+    """Manager-leak regressions for :class:`SharedMemoryBroker`."""
+
+    def test_shutdown_is_idempotent(self):
+        broker = SharedMemoryBroker(100)
+        broker.shutdown()
+        broker.shutdown()  # second call must be a no-op, not a crash
+
+    def test_context_manager_then_explicit_shutdown(self):
+        with SharedMemoryBroker(100) as broker:
+            granted = broker.proxy.request_or_enqueue("w", 10, maximum=10)
+            assert granted == 10
+        broker.shutdown()  # already shut down by __exit__
+
+    def test_construction_failure_stops_manager(self, monkeypatch):
+        """If proxy creation fails, the manager process must not leak."""
+        from repro.sort import memory_broker as module
+
+        started = []
+        real_start = module._BrokerManager.start
+
+        def recording_start(self, *args, **kwargs):
+            real_start(self, *args, **kwargs)
+            started.append(self)
+
+        monkeypatch.setattr(module._BrokerManager, "start", recording_start)
+        monkeypatch.setattr(
+            module._BrokerManager,
+            "MemoryBroker",
+            property(lambda self: (_ for _ in ()).throw(RuntimeError("boom"))),
+            raising=False,
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            SharedMemoryBroker(100)
+        assert len(started) == 1
+        process = getattr(started[0], "_process", None)
+        if process is not None:
+            process.join(timeout=10.0)
+            assert not process.is_alive()
