@@ -1,0 +1,261 @@
+"""Storage-engine benchmark: the LSM cost triangle (DESIGN.md §17).
+
+Loads each compaction policy with the same deterministic workload —
+random puts over a bounded key space (so overwrites and, later,
+tombstones actually collide) followed by a delete pass — then measures
+the three quantities a compaction policy trades against each other:
+
+* **write throughput** — operations/s through ``put``/``delete``
+  (WAL + memtable + whatever flush/compaction work the policy does
+  inline);
+* **read cost** — point-``get`` latency quantiles and a full-scan
+  rate against the final table layout (more live tables = more heap
+  ways per read);
+* **amplification** — write amplification (bytes written to SSTables
+  ÷ logical bytes the workload produced) and space amplification
+  (bytes on disk ÷ live logical bytes).
+
+Policies: ``wal-only`` (no flushes — the degenerate baseline),
+``no-compact`` (flush but never merge), leveled compaction at fan-in
+2/4/8, and ``full`` (one compaction to a single table at the end,
+read-optimal).  Every run is digest-checked against a plain dict
+replay of the same workload, so the bench cannot quietly measure a
+store that lost writes.
+
+WAL fsync is off (``sync=False``): the bench measures engine work,
+not the host's fsync latency, and the service ingest path runs the
+same way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.store import Store
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+#: (name, store options, compact at end).  ``memory`` is set per run.
+POLICIES = [
+    ("wal-only", {"auto_compact": False}, False),
+    ("no-compact", {"auto_compact": False}, False),
+    ("leveled-fan2", {"fan_in": 2}, False),
+    ("leveled-fan4", {"fan_in": 4}, False),
+    ("leveled-fan8", {"fan_in": 8}, False),
+    ("full", {"fan_in": 8}, True),
+]
+
+
+def workload(seed: int, operations: int, key_space: int):
+    """Deterministic op stream: 85% puts, 15% deletes, colliding keys."""
+    rng = random.Random(seed)
+    for _ in range(operations):
+        key = b"key-%08d" % rng.randrange(key_space)
+        if rng.random() < 0.85:
+            yield "put", key, b"value-%064d" % rng.getrandbits(48)
+        else:
+            yield "del", key, b""
+
+
+def replay_oracle(seed: int, operations: int, key_space: int) -> Dict:
+    state: Dict[bytes, bytes] = {}
+    logical_bytes = 0
+    for op, key, value in workload(seed, operations, key_space):
+        logical_bytes += len(key) + len(value)
+        if op == "put":
+            state[key] = value
+        else:
+            state.pop(key, None)
+    digest = hashlib.sha256()
+    for key in sorted(state):
+        digest.update(key)
+        digest.update(state[key])
+    return {
+        "live_keys": len(state),
+        "live_bytes": sum(len(k) + len(v) for k, v in state.items()),
+        "logical_bytes": logical_bytes,
+        "digest": digest.hexdigest(),
+    }
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def disk_bytes(path: str) -> int:
+    return sum(
+        os.path.getsize(os.path.join(path, name))
+        for name in os.listdir(path)
+        if name.startswith("sst-")
+    )
+
+
+def bench_policy(
+    name: str,
+    options: Dict,
+    compact_at_end: bool,
+    *,
+    work: str,
+    oracle: Dict,
+    seed: int,
+    operations: int,
+    key_space: int,
+    memory: int,
+    gets: int,
+) -> Dict:
+    path = os.path.join(work, name)
+    store_memory = operations * 2 if name == "wal-only" else memory
+    store = Store(path, memory=store_memory, sync=False, **options)
+    try:
+        start = time.perf_counter()
+        for op, key, value in workload(seed, operations, key_space):
+            if op == "put":
+                store.put(key, value)
+            else:
+                store.delete(key)
+        if compact_at_end:
+            store.compact()
+        else:
+            store.flush()
+        load_wall = time.perf_counter() - start
+
+        # Correctness gate: the scan must replay to the oracle digest.
+        digest = hashlib.sha256()
+        scan_start = time.perf_counter()
+        scanned = 0
+        for key, value in store.scan():
+            digest.update(key)
+            digest.update(value)
+            scanned += 1
+        scan_wall = time.perf_counter() - scan_start
+        if digest.hexdigest() != oracle["digest"]:
+            raise SystemExit(
+                f"policy {name}: scan diverged from the oracle "
+                f"({scanned} vs {oracle['live_keys']} keys)"
+            )
+
+        rng = random.Random(seed + 1)
+        latencies = []
+        hits = 0
+        for _ in range(gets):
+            key = b"key-%08d" % rng.randrange(key_space)
+            probe_start = time.perf_counter()
+            if store.get(key) is not None:
+                hits += 1
+            latencies.append(time.perf_counter() - probe_start)
+        latencies.sort()
+
+        table_bytes = disk_bytes(path)
+        written = store.flushed_bytes + store.compacted_bytes
+        summary = store.verify()
+        return {
+            "policy": name,
+            "tables": summary["tables"],
+            "levels": summary["levels"],
+            "ops_per_s": round(operations / load_wall, 1),
+            "load_wall_s": round(load_wall, 3),
+            "scan_keys_per_s": round(scanned / scan_wall, 1)
+            if scan_wall
+            else None,
+            "get_p50_us": round(_quantile(latencies, 0.50) * 1e6, 1),
+            "get_p99_us": round(_quantile(latencies, 0.99) * 1e6, 1),
+            "get_hit_rate": round(hits / gets, 3) if gets else None,
+            "write_amplification": round(
+                written / oracle["logical_bytes"], 3
+            ),
+            "space_amplification": round(
+                table_bytes / oracle["live_bytes"], 3
+            )
+            if table_bytes
+            else None,
+            "table_bytes": table_bytes,
+            "wal_bytes": store.wal_bytes,
+        }
+    finally:
+        store.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--operations", type=int, default=200_000,
+                        help="workload operations per policy "
+                             "(default 200000)")
+    parser.add_argument("--key-space", type=int, default=50_000,
+                        help="distinct keys; smaller = more overwrite "
+                             "pressure (default 50000)")
+    parser.add_argument("--memory", type=int, default=8_192,
+                        help="memtable budget in records (default 8192)")
+    parser.add_argument("--gets", type=int, default=5_000,
+                        help="point reads per policy (default 5000)")
+    parser.add_argument("--seed", type=int, default=20260807)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI: proves the harness "
+                             "runs, not the numbers")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.operations = 5_000
+        args.key_space = 1_000
+        args.memory = 256
+        args.gets = 1_000
+
+    oracle = replay_oracle(args.seed, args.operations, args.key_space)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as work:
+        for name, options, compact_at_end in POLICIES:
+            row = bench_policy(
+                name, options, compact_at_end,
+                work=work, oracle=oracle, seed=args.seed,
+                operations=args.operations, key_space=args.key_space,
+                memory=args.memory, gets=args.gets,
+            )
+            print(
+                f"{row['policy']:>13}  tables={row['tables']:>3}  "
+                f"load={row['ops_per_s']:>9.1f} ops/s  "
+                f"get p50={row['get_p50_us']:>7.1f}us "
+                f"p99={row['get_p99_us']:>8.1f}us  "
+                f"W-amp={row['write_amplification']:<6}  "
+                f"S-amp={row['space_amplification']}",
+                flush=True,
+            )
+            rows.append(row)
+
+    result = {
+        "benchmark": "store-lsm",
+        "smoke": bool(args.smoke),
+        "operations": args.operations,
+        "key_space": args.key_space,
+        "memory": args.memory,
+        "gets": args.gets,
+        "seed": args.seed,
+        "live_keys": oracle["live_keys"],
+        "logical_mb": round(oracle["logical_bytes"] / 1e6, 2),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "policies": rows,
+    }
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,13 @@ Examples::
     # merge already-sorted files without re-sorting (like sort -m)
     python -m repro.cli merge run1.txt run2.txt -o merged.txt
 
+    # LSM key-value store built on the sort engine (DESIGN.md §17):
+    # WAL-durable puts/deletes, SSTable flushes, merge-compaction
+    python -m repro.cli store put db user:1 alice
+    python -m repro.cli store get db user:1
+    python -m repro.cli store ingest db oplog.txt
+    python -m repro.cli store scan db -o items.txt
+
     # compare run generation across algorithms without sorting
     python -m repro.cli runs --memory 1000 in.txt
 
@@ -87,6 +94,14 @@ from repro.ops import (
 )
 from repro.sort.parallel import PARTITION_STRATEGIES
 from repro.sort.spill import DEFAULT_BUFFER_RECORDS
+from repro.store import Store
+from repro.store.oplog import (
+    escape_bytes,
+    format_item,
+    parse_op_line,
+    unescape_bytes,
+)
+from repro.store.store import DEFAULT_MEMTABLE_RECORDS
 from repro.workloads.generators import DISTRIBUTIONS, make_input
 
 
@@ -659,8 +674,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceError
 
-    if not args.id and not args.input:
+    needs_input = args.op not in ("store_scan", "store_compact")
+    if not args.id and not args.input and needs_input:
         sys.stderr.write("submit needs an input file (or --id)\n")
+        return 2
+    if not args.id and args.op.startswith("store_") and not args.store:
+        sys.stderr.write(f"submit --op {args.op} needs --store DIR\n")
         return 2
     client = _service_client(args)
     try:
@@ -671,7 +690,6 @@ def cmd_submit(args: argparse.Namespace) -> int:
             # different working directory than the submitting shell.
             job = {
                 "op": args.op,
-                "input": os.path.abspath(args.input),
                 "tenant": args.tenant,
                 "memory": args.memory,
                 "algorithm": args.algorithm,
@@ -681,6 +699,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 "spill_codec": args.spill_codec,
                 "checksum": args.checksum,
             }
+            if args.input:
+                job["input"] = os.path.abspath(args.input)
+            if args.store:
+                job["store"] = os.path.abspath(args.store)
             if args.output:
                 job["output"] = os.path.abspath(args.output)
             if args.key is not None:
@@ -747,6 +769,124 @@ def cmd_cancel(args: argparse.Namespace) -> int:
         sys.stderr.write(f"cancel failed: {exc}\n")
         return 1
     return 0
+
+
+def _store_open(args: argparse.Namespace) -> Store:
+    return Store(
+        args.dir,
+        memory=args.memory,
+        block_records=args.block_records,
+        codec=args.codec,
+        fan_in=args.fan_in,
+        sync=not args.no_sync,
+        auto_compact=not args.no_auto_compact,
+    )
+
+
+def _store_put(store: Store, args: argparse.Namespace) -> int:
+    store.put(unescape_bytes(args.key), unescape_bytes(args.value))
+    return 0
+
+
+def _store_get(store: Store, args: argparse.Namespace) -> int:
+    key = unescape_bytes(args.key)
+    value = store.get(key)
+    if value is None:
+        # Distinct from failure (1): the store is healthy, the key is
+        # simply absent or deleted — the grep-style "no match" exit.
+        print(
+            f"repro: store get: key {args.key!r} not found",
+            file=sys.stderr,
+        )
+        return 2
+    sys.stdout.write(escape_bytes(value) + "\n")
+    return 0
+
+
+def _store_delete(store: Store, args: argparse.Namespace) -> int:
+    store.delete(unescape_bytes(args.key))
+    return 0
+
+
+def _store_scan(store: Store, args: argparse.Namespace) -> int:
+    start = unescape_bytes(args.start) if args.start is not None else None
+    end = unescape_bytes(args.end) if args.end is not None else None
+    count = 0
+    with _open_output(args.output) as out:
+        for key, value in store.scan(start, end):
+            out.write(format_item(key, value) + "\n")
+            count += 1
+    print(f"store scan: {count} item(s)", file=sys.stderr)
+    return 0
+
+
+def _store_ingest(store: Store, args: argparse.Namespace) -> int:
+    applied = 0
+    with _open_input(args.input) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            parsed = parse_op_line(line, lineno)
+            if parsed is None:
+                continue
+            op, key, value = parsed
+            if op == "put":
+                store.put(key, value)
+            else:
+                store.delete(key)
+            applied += 1
+    print(f"store ingest: {applied} operation(s) applied", file=sys.stderr)
+    return 0
+
+
+def _store_flush(store: Store, args: argparse.Namespace) -> int:
+    name = store.flush()
+    if name is None:
+        print("store flush: memtable empty, nothing to write",
+              file=sys.stderr)
+    else:
+        print(f"store flush: wrote {name}", file=sys.stderr)
+    return 0
+
+
+def _store_compact(store: Store, args: argparse.Namespace) -> int:
+    name = store.compact()
+    if name is None:
+        print("store compact: store is empty", file=sys.stderr)
+    else:
+        print(f"store compact: merged into {name}", file=sys.stderr)
+    return 0
+
+
+def _store_verify(store: Store, args: argparse.Namespace) -> int:
+    _print_json(store.verify())
+    return 0
+
+
+_STORE_ACTIONS = {
+    "put": _store_put,
+    "get": _store_get,
+    "delete": _store_delete,
+    "scan": _store_scan,
+    "ingest": _store_ingest,
+    "flush": _store_flush,
+    "compact": _store_compact,
+    "verify": _store_verify,
+}
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    command = f"store {args.store_cmd}"
+    try:
+        with _store_open(args) as store:
+            return _STORE_ACTIONS[args.store_cmd](store, args)
+    except ValueError as exc:
+        # Data-level failure: malformed escape in a key/value token or
+        # a bad oplog line.
+        print(f"repro: {command} failed: {exc}", file=sys.stderr)
+        return 1
+    except (SortError, OSError) as exc:
+        # StoreError/ManifestError are SortErrors; nothing here is
+        # resumable from a sort journal, so no work-dir hint.
+        return _sort_failure(command, exc)
 
 
 def _fan_in(text: str) -> int:
@@ -1016,6 +1156,111 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories (default: src/ tests/)")
     p_lint.set_defaults(func=cmd_lint)
 
+    p_store = sub.add_parser(
+        "store",
+        help="LSM key-value store built on the sort engine (DESIGN.md §17)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_cmd", required=True)
+
+    def add_store_options(p: argparse.ArgumentParser) -> None:
+        """Shared store knobs.  Every subcommand opens the same way —
+        reads take the single-writer lock too, keeping the CLI a strict
+        one-process-at-a-time tool over the directory."""
+        p.add_argument("dir", help="store directory (created on first use)")
+        p.add_argument("--memory", type=_positive_int,
+                       default=DEFAULT_MEMTABLE_RECORDS,
+                       help="memtable budget in records; reaching it "
+                            "flushes an SSTable "
+                            f"(default {DEFAULT_MEMTABLE_RECORDS})")
+        p.add_argument("--block-records", type=_positive_int,
+                       default=DEFAULT_BLOCK_RECORDS,
+                       help="records per SSTable block — the unit of "
+                            "sparse indexing and point-lookup I/O "
+                            f"(default {DEFAULT_BLOCK_RECORDS})")
+        p.add_argument("--codec", choices=("none",) + SPILL_CODECS,
+                       default="none",
+                       help="per-block compression of SSTable data, "
+                            "same codecs as --spill-codec "
+                            "(default none)")
+        p.add_argument("--fan-in", type=_fan_in, default=DEFAULT_FAN_IN,
+                       help="compaction fan-in: a level holding more "
+                            "tables than this merges into the next "
+                            f"(default {DEFAULT_FAN_IN})")
+        p.add_argument("--no-sync", action="store_true",
+                       help="skip the per-write WAL fsync (bulk loads: "
+                            "much faster, but a crash may lose the "
+                            "unsynced tail)")
+        p.add_argument("--no-auto-compact", action="store_true",
+                       help="never compact on flush; run 'store "
+                            "compact' explicitly instead")
+
+    key_help = ("key as escaped text: printable ASCII plus "
+                "\\t \\n \\r \\\\ \\xNN for everything else")
+    p_s_put = store_sub.add_parser("put", help="store one key/value pair")
+    add_store_options(p_s_put)
+    p_s_put.add_argument("key", help=key_help)
+    p_s_put.add_argument("value", help="value (escaped like the key)")
+    p_s_put.set_defaults(func=cmd_store)
+
+    p_s_get = store_sub.add_parser(
+        "get", help="print one key's value (exit 2 when absent)"
+    )
+    add_store_options(p_s_get)
+    p_s_get.add_argument("key", help=key_help)
+    p_s_get.set_defaults(func=cmd_store)
+
+    p_s_del = store_sub.add_parser(
+        "delete", help="delete one key (a tombstone shadows older puts)"
+    )
+    add_store_options(p_s_del)
+    p_s_del.add_argument("key", help=key_help)
+    p_s_del.set_defaults(func=cmd_store)
+
+    p_s_scan = store_sub.add_parser(
+        "scan",
+        help="emit live KEY<TAB>VALUE lines in key order",
+    )
+    add_store_options(p_s_scan)
+    p_s_scan.add_argument("--start", default=None,
+                          help="first key to include (escaped text)")
+    p_s_scan.add_argument("--end", default=None,
+                          help="first key to exclude (escaped text)")
+    p_s_scan.add_argument("-o", "--output",
+                          help="output file (default stdout); published "
+                               "atomically")
+    p_s_scan.set_defaults(func=cmd_store)
+
+    p_s_ingest = store_sub.add_parser(
+        "ingest",
+        help="apply an operation log: 'put<TAB>KEY<TAB>VALUE' / "
+             "'del<TAB>KEY' lines",
+    )
+    add_store_options(p_s_ingest)
+    p_s_ingest.add_argument("input", nargs="?",
+                            help="oplog file ('-' = stdin)")
+    p_s_ingest.set_defaults(func=cmd_store)
+
+    p_s_flush = store_sub.add_parser(
+        "flush", help="persist the memtable as a level-0 SSTable now"
+    )
+    add_store_options(p_s_flush)
+    p_s_flush.set_defaults(func=cmd_store)
+
+    p_s_compact = store_sub.add_parser(
+        "compact",
+        help="merge every table into one and reclaim deleted space",
+    )
+    add_store_options(p_s_compact)
+    p_s_compact.set_defaults(func=cmd_store)
+
+    p_s_verify = store_sub.add_parser(
+        "verify",
+        help="re-hash every table against the manifest and walk all "
+             "blocks; prints a summary JSON",
+    )
+    add_store_options(p_s_verify)
+    p_s_verify.set_defaults(func=cmd_store)
+
     def add_server_address(p: argparse.ArgumentParser) -> None:
         p.add_argument("--server", default=None, metavar="HOST:PORT",
                        help="address of a running repro serve instance")
@@ -1062,9 +1307,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-attach to a persisted job by id "
                                "instead of sending a spec (crash "
                                "recovery; resumes from its journal)")
-    p_submit.add_argument("--op", choices=("sort", "distinct", "agg",
-                                           "topk", "join"),
+    # Mirrors service.jobs.JOB_OPS; importing it here would load the
+    # whole service package for every CLI run (a test pins the two).
+    p_submit.add_argument("--op",
+                          choices=("sort", "distinct", "agg", "topk",
+                                   "join", "store_ingest", "store_scan",
+                                   "store_compact"),
                           default="sort")
+    p_submit.add_argument("--store", default=None,
+                          help="server-side store directory for the "
+                               "store_* ops")
     p_submit.add_argument("--tenant", default="default")
     p_submit.add_argument("--memory", type=_positive_int, default=10_000)
     p_submit.add_argument("--algorithm", choices=ALGORITHMS, default="2wrs")

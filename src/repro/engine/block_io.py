@@ -367,6 +367,60 @@ def _unpack_binary_block(
     return records
 
 
+def _read_binary_block_at(
+    handle: Any,
+    path: str,
+    index: int,
+    offset: int,
+    checksum: bool,
+    factory: Optional[Any],
+) -> Optional[Tuple[List[Any], int]]:
+    """One RBLK block at the handle's current position.
+
+    Returns ``(records, bytes_consumed)``, or ``None`` at a clean end
+    of input (no header bytes at all).  ``path``/``index``/``offset``
+    only label :class:`~repro.engine.errors.CorruptBlockError`s — the
+    handle's position is the single source of truth, which is what
+    lets the SSTable reader (DESIGN.md §17) seek to a sparse-index
+    offset and reuse exactly this parser for random block access.
+    """
+    header_size = _BINARY_HEADER.size
+    header = handle.read(header_size)
+    if not header:
+        return None
+    if len(header) < header_size:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"truncated binary block header: {len(header)} of "
+            f"{header_size} bytes — file was torn mid-write",
+        )
+    magic, count, body_len, want_crc = _BINARY_HEADER.unpack(header)
+    if magic != BINARY_BLOCK_MAGIC:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"bad binary block magic {magic!r} — file is torn or "
+            f"is not a binary spill file",
+        )
+    body = handle.read(body_len)
+    if len(body) < body_len:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"truncated binary block: header declares {body_len} "
+            f"body bytes, file ends after {len(body)}",
+        )
+    if checksum:
+        got_crc = zlib.crc32(body)
+        if got_crc != want_crc:
+            raise CorruptBlockError(
+                path, index, offset,
+                f"checksum mismatch: header says {want_crc:08x}, "
+                f"block bytes hash to {got_crc:08x} — block was "
+                f"corrupted on disk or torn mid-write",
+            )
+    block = _unpack_binary_block(body, count, path, index, offset, factory)
+    return block, header_size + body_len
+
+
 def _read_binary_blocks(
     handle: Any, checksum: bool, factory: Optional[Any] = None
 ) -> Iterator[List[Any]]:
@@ -379,44 +433,16 @@ def _read_binary_blocks(
     when ``checksum`` is set, matching the text path's contract.
     """
     path = getattr(handle, "name", "<stream>")
-    header_size = _BINARY_HEADER.size
     offset = 0
     index = 0
     while True:
-        header = handle.read(header_size)
-        if not header:
+        result = _read_binary_block_at(
+            handle, path, index, offset, checksum, factory
+        )
+        if result is None:
             return
-        if len(header) < header_size:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"truncated binary block header: {len(header)} of "
-                f"{header_size} bytes — file was torn mid-write",
-            )
-        magic, count, body_len, want_crc = _BINARY_HEADER.unpack(header)
-        if magic != BINARY_BLOCK_MAGIC:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"bad binary block magic {magic!r} — file is torn or "
-                f"is not a binary spill file",
-            )
-        body = handle.read(body_len)
-        if len(body) < body_len:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"truncated binary block: header declares {body_len} "
-                f"body bytes, file ends after {len(body)}",
-            )
-        if checksum:
-            got_crc = zlib.crc32(body)
-            if got_crc != want_crc:
-                raise CorruptBlockError(
-                    path, index, offset,
-                    f"checksum mismatch: header says {want_crc:08x}, "
-                    f"block bytes hash to {got_crc:08x} — block was "
-                    f"corrupted on disk or torn mid-write",
-                )
-        block = _unpack_binary_block(body, count, path, index, offset, factory)
-        offset += header_size + body_len
+        block, consumed = result
+        offset += consumed
         index += 1
         yield block
 
@@ -455,6 +481,80 @@ def _decode_text_body(
     return block
 
 
+def _read_compressed_block_at(
+    handle: Any,
+    fmt: RecordFormat,
+    codec: str,
+    binary: bool,
+    factory: Optional[Any],
+    path: str,
+    index: int,
+    offset: int,
+) -> Optional[Tuple[List[Any], int]]:
+    """One RBLC block at the handle's current position.
+
+    Returns ``(records, bytes_consumed)`` or ``None`` at a clean end
+    of input; the stored-body CRC is always verified (see
+    :data:`_COMPRESSED_HEADER`).  Like :func:`_read_binary_block_at`,
+    position comes from the handle so seek-based readers can reuse it.
+    """
+    header_size = _COMPRESSED_HEADER.size
+    expected_id = CODEC_IDS[codec]
+    header = handle.read(header_size)
+    if not header:
+        return None
+    if len(header) < header_size:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"truncated compressed block header: {len(header)} of "
+            f"{header_size} bytes — file was torn mid-write",
+        )
+    magic, codec_id, count, raw_len, stored_len, want_crc = (
+        _COMPRESSED_HEADER.unpack(header)
+    )
+    if magic != COMPRESSED_BLOCK_MAGIC:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"bad compressed block magic {magic!r} — file is torn "
+            f"or is not a compressed spill file",
+        )
+    if codec_id != expected_id:
+        found = CODEC_NAMES.get(codec_id, f"unknown id {codec_id}")
+        raise CorruptBlockError(
+            path, index, offset,
+            f"block was written with codec {found!r} but the reader "
+            f"expects {codec!r} — spill codecs must not mix within "
+            f"one file",
+        )
+    stored = handle.read(stored_len)
+    if len(stored) < stored_len:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"truncated compressed block: header declares "
+            f"{stored_len} stored bytes, file ends after "
+            f"{len(stored)}",
+        )
+    got_crc = zlib.crc32(stored)
+    if got_crc != want_crc:
+        raise CorruptBlockError(
+            path, index, offset,
+            f"checksum mismatch: header says {want_crc:08x}, stored "
+            f"bytes hash to {got_crc:08x} — block was corrupted on "
+            f"disk or torn mid-write",
+        )
+    try:
+        body = decompress_body(codec, stored, raw_len, count)
+    except SpillCodecError as exc:
+        raise CorruptBlockError(path, index, offset, str(exc)) from None
+    if binary:
+        block = _unpack_binary_block(
+            body, count, path, index, offset, factory
+        )
+    else:
+        block = _decode_text_body(fmt, body, count, path, index, offset)
+    return block, header_size + stored_len
+
+
 def _read_compressed_blocks(
     handle: Any,
     fmt: RecordFormat,
@@ -471,66 +571,53 @@ def _read_compressed_blocks(
     before the decompressor ever sees the bytes.
     """
     path = getattr(handle, "name", "<stream>")
-    header_size = _COMPRESSED_HEADER.size
-    expected_id = CODEC_IDS[codec]
     offset = 0
     index = 0
     while True:
-        header = handle.read(header_size)
-        if not header:
-            return
-        if len(header) < header_size:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"truncated compressed block header: {len(header)} of "
-                f"{header_size} bytes — file was torn mid-write",
-            )
-        magic, codec_id, count, raw_len, stored_len, want_crc = (
-            _COMPRESSED_HEADER.unpack(header)
+        result = _read_compressed_block_at(
+            handle, fmt, codec, binary, factory, path, index, offset
         )
-        if magic != COMPRESSED_BLOCK_MAGIC:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"bad compressed block magic {magic!r} — file is torn "
-                f"or is not a compressed spill file",
-            )
-        if codec_id != expected_id:
-            found = CODEC_NAMES.get(codec_id, f"unknown id {codec_id}")
-            raise CorruptBlockError(
-                path, index, offset,
-                f"block was written with codec {found!r} but the reader "
-                f"expects {codec!r} — spill codecs must not mix within "
-                f"one file",
-            )
-        stored = handle.read(stored_len)
-        if len(stored) < stored_len:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"truncated compressed block: header declares "
-                f"{stored_len} stored bytes, file ends after "
-                f"{len(stored)}",
-            )
-        got_crc = zlib.crc32(stored)
-        if got_crc != want_crc:
-            raise CorruptBlockError(
-                path, index, offset,
-                f"checksum mismatch: header says {want_crc:08x}, stored "
-                f"bytes hash to {got_crc:08x} — block was corrupted on "
-                f"disk or torn mid-write",
-            )
-        try:
-            body = decompress_body(codec, stored, raw_len, count)
-        except SpillCodecError as exc:
-            raise CorruptBlockError(path, index, offset, str(exc)) from None
-        if binary:
-            block = _unpack_binary_block(
-                body, count, path, index, offset, factory
-            )
-        else:
-            block = _decode_text_body(fmt, body, count, path, index, offset)
-        offset += header_size + stored_len
+        if result is None:
+            return
+        block, consumed = result
+        offset += consumed
         index += 1
         yield block
+
+
+def read_framed_block(
+    handle: Any,
+    fmt: RecordFormat,
+    *,
+    path: str = "<stream>",
+    index: int = 0,
+    offset: int = 0,
+    checksum: bool = True,
+    codec: str = "none",
+) -> Optional[Tuple[List[Any], int]]:
+    """Read one self-describing block at the handle's current position.
+
+    The random-access twin of :func:`read_blocks` for the two
+    length-framed layouts (RBLK binary, RBLC compressed): callers that
+    keep their own block offsets — the SSTable sparse index above all
+    — seek the handle and parse exactly one block through the same
+    corruption-checked code path the streaming readers use.  Returns
+    ``(records, bytes_consumed)``, or ``None`` when the handle is at a
+    clean end of input; ``path``/``index``/``offset`` label any
+    :class:`~repro.engine.errors.CorruptBlockError`.  Text framing has
+    no random-access layout (its headers are lines), so only binary
+    formats and codec-compressed files are supported.
+    """
+    validate_codec(codec)
+    factory = getattr(fmt, "record_factory", None)
+    if codec != "none":
+        return _read_compressed_block_at(
+            handle, fmt, codec, wants_binary(fmt, None), factory,
+            path, index, offset,
+        )
+    return _read_binary_block_at(
+        handle, path, index, offset, checksum, factory
+    )
 
 
 def read_blocks(

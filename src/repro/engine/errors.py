@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-__all__ = ["SortError", "CorruptBlockError", "JournalError"]
+__all__ = [
+    "SortError",
+    "CorruptBlockError",
+    "JournalError",
+    "StoreError",
+    "ManifestError",
+]
 
 
 class SortError(Exception):
@@ -64,3 +70,18 @@ class CorruptBlockError(SortError):
 
 class JournalError(SortError):
     """A sort journal (run manifest) is unreadable or inconsistent."""
+
+
+class StoreError(SortError):
+    """The LSM store failed in a controlled, reportable way (§17).
+
+    Raised for anything the storage engine can diagnose cleanly: a
+    table the manifest references but the disk no longer verifies, a
+    directory already locked by another process, a flush whose bytes
+    failed read-back verification.  Subclassing :class:`SortError`
+    keeps the CLI's one failure path: ``repro: <cmd> failed: ...``.
+    """
+
+
+class ManifestError(StoreError):
+    """The store MANIFEST is unreadable or internally inconsistent."""

@@ -8,7 +8,7 @@ entropy: an unseeded ``random`` call or a wall-clock read that leaks
 into output or control flow.
 
 Within ``repro/core``, ``repro/engine``, ``repro/merge``,
-``repro/ops`` and ``repro/service`` the rule flags:
+``repro/ops``, ``repro/service`` and ``repro/store`` the rule flags:
 
 * module-level ``random.X(...)`` calls (``random.random``,
   ``random.shuffle`` … share the hidden global generator).  A seeded
@@ -39,7 +39,7 @@ from repro.lint.astutil import dotted, last_component
 from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, rule
 
-_CORE_PACKAGES = ("core", "engine", "merge", "ops", "service")
+_CORE_PACKAGES = ("core", "engine", "merge", "ops", "service", "store")
 _WALL_CLOCK_NAMES = ("time", "time_ns")
 _DATETIME_READS = ("now", "utcnow", "today")
 #: The asyncio event loop's clock is monotonic by contract; the

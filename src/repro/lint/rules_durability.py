@@ -1,4 +1,4 @@
-"""R003 — the §11 durability order inside ``engine.resilience``.
+"""R003 — the §11 durability order in ``engine.resilience`` and the store.
 
 DESIGN.md §11's crash-consistency invariant is a strict order per
 artifact: **write → fsync → journal append → delete inputs**.  The
@@ -8,13 +8,19 @@ page cache lost), and a merge's inputs must never disappear before the
 journal entry that supersedes them exists (a crash in between loses
 both the inputs and the proof the output covers them).
 
-Statically, within each function of a ``resilience`` module:
+The same order governs ``repro/store/``: a flush or compaction fsyncs
+its SSTable before the MANIFEST append that makes it live, and deletes
+superseded WALs/tables only after that append.
 
-* a journal ``append`` whose entry literal carries a ``"file"`` key
-  (i.e. references an on-disk artifact) must be preceded — in source
-  order — by a durability event: an ``os.fsync`` call, a
-  ``write_block_file(..., fsync=True)``, or a ``write_marker`` call
-  (which fsyncs internally);
+Statically, within each function of a ``resilience`` module or a
+store module:
+
+* a journal/manifest ``append`` whose entry literal carries a
+  ``"file"`` key (i.e. references an on-disk artifact) must be
+  preceded — in source order — by a durability event: an ``os.fsync``
+  call, any call passing a literal ``fsync=True``
+  (``write_block_file``, the store's ``write_table``), or a
+  ``write_marker`` call (which fsyncs internally);
 * once such an append exists in a function, any ``os.remove`` /
   ``unlink`` in that function must come *after* an append — deleting
   first would reorder the invariant;
@@ -53,26 +59,27 @@ _DELETERS = ("remove", "unlink")
 
 def _in_scope(logical_path: str) -> bool:
     path = logical_path.replace("\\", "/")
+    if "tests/" in path:
+        return False
     return (
-        "tests/" not in path
-        and posixpath.basename(path) == "resilience.py"
+        posixpath.basename(path) == "resilience.py"
+        or "repro/store/" in path
     )
 
 
 def _is_fsync_event(call: ast.Call) -> bool:
     name = last_component(call.func)
-    if name == "fsync":
+    if name in ("fsync", "write_marker"):
         return True
-    if name == "write_marker":
-        return True
-    if name == "write_block_file":
-        return any(
-            keyword.arg == "fsync"
-            and isinstance(keyword.value, ast.Constant)
-            and keyword.value.value is True
-            for keyword in call.keywords
-        )
-    return False
+    # Any helper taking a literal ``fsync=True`` keyword —
+    # ``write_block_file``, the store's ``write_table`` — declares
+    # itself a durability event; a variable or False never counts.
+    return any(
+        keyword.arg == "fsync"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in call.keywords
+    )
 
 
 def _is_journal_append(call: ast.Call) -> bool:
@@ -81,7 +88,10 @@ def _is_journal_append(call: ast.Call) -> bool:
     if not isinstance(call.func, ast.Attribute):
         return False
     receiver = dotted(call.func.value) or ""
-    return "journal" in receiver.lower()
+    receiver = receiver.lower()
+    # The store MANIFEST is a journal in §11's sense: its append is
+    # the commit point that must trail the artifact's fsync.
+    return "journal" in receiver or "manifest" in receiver
 
 
 @rule("R003")

@@ -11,7 +11,10 @@ because the output is still correct.
 
 The rule therefore bans ``*.decode(...)`` and ``*.key(...)`` calls
 inside the merge hot-loop modules (:mod:`repro.merge.kway` and
-:mod:`repro.engine.merge_reading`).  Work that is genuinely per-block
+:mod:`repro.engine.merge_reading`) and the store's scan/compaction
+hot loops (:mod:`repro.store.sstable`, :mod:`repro.store.compaction`),
+whose §17 meta layout exists precisely so LWW dedup and tombstone
+checks stay tuple-and-slice work.  Work that is genuinely per-block
 rather than per-record (e.g. the forecasting reader's run-tail key)
 carries an explicit waiver naming that reason; anything per-record
 belongs either in ``block_io`` (where text formats decode
@@ -28,7 +31,12 @@ from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, rule
 
 #: Modules whose loops must never pay a per-record decode.
-_HOT_MODULES = ("repro/merge/kway.py", "repro/engine/merge_reading.py")
+_HOT_MODULES = (
+    "repro/merge/kway.py",
+    "repro/engine/merge_reading.py",
+    "repro/store/sstable.py",
+    "repro/store/compaction.py",
+)
 
 #: Method names whose call re-introduces per-record Python decoding.
 _BANNED_METHODS = ("decode", "decode_block", "key")

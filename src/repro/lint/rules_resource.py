@@ -23,9 +23,10 @@ spot) is always flagged.  ``BlockWriter`` instances bound to a name
 must see a ``flush()`` call somewhere in the same function.
 
 R002 — the fault seam: every spill/shard/partition file in the
-``engine``/``sort``/``ops``/``merge`` packages must be opened through
-:func:`repro.engine.block_io.open_text`, the single seam the
-fault-injection harness and CRC verification wrap.  A direct builtin
+``engine``/``sort``/``ops``/``merge``/``store`` packages must be
+opened through :func:`repro.engine.block_io.open_text` (or its binary
+sibling ``open_bytes``), the single seam the fault-injection harness
+and CRC verification wrap.  A direct builtin
 ``open()`` there silently escapes both; so does a compression *file*
 API (``lzma.open``/``gzip.open``/``bz2.open`` or their ``LZMAFile``/
 ``GzipFile``/``BZ2File`` constructors), which is the tempting shortcut
@@ -56,7 +57,7 @@ from repro.lint.registry import FileContext, rule
 _OPENERS = ("open", "open_text", "open_bytes", "open_run")
 
 #: Packages whose record I/O must go through the open_text seam.
-_SEAM_PACKAGES = ("engine", "sort", "ops", "merge")
+_SEAM_PACKAGES = ("engine", "sort", "ops", "merge", "store")
 
 #: Compression *file* APIs (module.open) that stream a whole file
 #: through the codec, hiding it from the seam and from per-block CRCs.

@@ -17,10 +17,21 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
 
-__all__ = ["JOB_OPS", "JobSpec", "job_id_for"]
+__all__ = ["JOB_OPS", "STORE_OPS", "JobSpec", "job_id_for"]
 
-#: Operators a job may run (the CLI's file-to-file subcommands).
-JOB_OPS = ("sort", "distinct", "agg", "topk", "join")
+#: Operators a job may run: the CLI's file-to-file subcommands, plus
+#: the store jobs (DESIGN.md §17) that run against a server-side store
+#: directory under the same broker-granted memory budget.
+JOB_OPS = (
+    "sort", "distinct", "agg", "topk", "join",
+    "store_ingest", "store_scan", "store_compact",
+)
+
+#: The ops that act on a store directory instead of sorting a file.
+STORE_OPS = ("store_ingest", "store_scan", "store_compact")
+
+#: Store ops that read no input file (they only need the directory).
+_INPUTLESS_OPS = ("store_scan", "store_compact")
 
 #: Hex digits kept from the SHA-256 — plenty against collisions at
 #: service scale, short enough to paste into a terminal.
@@ -66,6 +77,7 @@ class JobSpec:
     input: str
     output: Optional[str] = None
     right_input: Optional[str] = None
+    store: Optional[str] = None
     tenant: str = "default"
     fmt: str = "int"
     key: Optional[KeyColumns] = None
@@ -86,8 +98,14 @@ class JobSpec:
             raise ValueError(
                 f"unknown op {self.op!r}; expected one of {', '.join(JOB_OPS)}"
             )
-        if not self.input:
+        if not self.input and self.op not in _INPUTLESS_OPS:
             raise ValueError("job needs an input path")
+        if self.op in STORE_OPS and not self.store:
+            raise ValueError(f"{self.op} jobs need a store directory")
+        if self.op not in STORE_OPS and self.store:
+            raise ValueError(
+                f"store only applies to the store_* ops, not {self.op}"
+            )
         if self.op == "join" and not self.right_input:
             raise ValueError("join jobs need a right_input path")
         if self.op != "join" and self.right_input:
@@ -107,9 +125,9 @@ class JobSpec:
     def from_payload(cls, payload: Dict[str, Any]) -> "JobSpec":
         """A validated spec from a submit message's ``job`` object."""
         known = {
-            "op", "input", "output", "right_input", "tenant", "format",
-            "key", "right_key", "by", "aggregates", "value", "k",
-            "memory", "algorithm", "fan_in", "binary_spill",
+            "op", "input", "output", "right_input", "store", "tenant",
+            "format", "key", "right_key", "by", "aggregates", "value",
+            "k", "memory", "algorithm", "fan_in", "binary_spill",
             "spill_codec", "checksum",
         }
         unknown = sorted(set(payload) - known)
@@ -118,7 +136,13 @@ class JobSpec:
         aggregates = payload.get("aggregates") or ["count"]
         spec = cls(
             op=str(payload.get("op", "")),
-            input=os.path.abspath(str(payload.get("input", ""))),
+            # An absent input stays "" (validate decides whether the op
+            # needs one) — abspath("") would silently become the cwd.
+            input=(
+                os.path.abspath(str(payload["input"]))
+                if payload.get("input")
+                else ""
+            ),
             output=(
                 os.path.abspath(str(payload["output"]))
                 if payload.get("output")
@@ -127,6 +151,11 @@ class JobSpec:
             right_input=(
                 os.path.abspath(str(payload["right_input"]))
                 if payload.get("right_input")
+                else None
+            ),
+            store=(
+                os.path.abspath(str(payload["store"]))
+                if payload.get("store")
                 else None
             ),
             tenant=str(payload.get("tenant", "default")),
@@ -158,6 +187,7 @@ class JobSpec:
             "input": self.input,
             "output": self.output,
             "right_input": self.right_input,
+            "store": self.store,
             "tenant": self.tenant,
             "format": self.fmt,
             "key": _key_payload(self.key),

@@ -17,6 +17,7 @@ scheduler's own ``finally``).
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 from dataclasses import dataclass
@@ -33,8 +34,10 @@ from repro.engine.planner import AUTO_READING, SortEngine
 from repro.engine.resilience import atomic_output
 from repro.ops import Distinct, GroupByAggregate, SortMergeJoin, TopK
 from repro.ops.base import CountingIterator, report_as_dict
-from repro.service.jobs import JobSpec
+from repro.service.jobs import STORE_OPS, JobSpec
 from repro.sort.spill import DEFAULT_BUFFER_RECORDS
+from repro.store import Store
+from repro.store.oplog import format_item, parse_op_line
 
 __all__ = ["JobCancelled", "JobOutcome", "run_job"]
 
@@ -151,6 +154,11 @@ def run_job(
             spec, memory=memory, work_dir=work_dir,
             result_path=result_path, cancel=cancel, job_id=job_id,
         )
+    if spec.op in STORE_OPS:
+        return _run_store(
+            spec, memory=memory,
+            result_path=result_path, cancel=cancel, job_id=job_id,
+        )
     record_format = _record_format(spec, spec.key)
     engine = _engine(
         spec, memory, record_format,
@@ -258,4 +266,84 @@ def _run_join(
         outcome.records_out = counted.count
     outcome.report = report_as_dict(op.report)
     _resume_counters(outcome, [left_engine, right_engine])
+    return outcome
+
+
+def _run_store(
+    spec: JobSpec,
+    *,
+    memory: int,
+    result_path: str,
+    cancel: Optional[threading.Event],
+    job_id: str,
+) -> JobOutcome:
+    """Run one store job against the spec's server-side directory.
+
+    The broker grant *is* the memtable budget, so store jobs share the
+    service's memory pool exactly like sorts do.  Ingest runs with
+    ``sync=False`` — per-operation WAL fsyncs would make bulk loads
+    I/O-bound for no benefit, because the service acknowledges the
+    *job*, not individual operations, and ``close()`` syncs the WAL
+    before the job reaches its terminal state.
+    """
+    assert spec.store is not None  # validate() guarantees it
+    outcome = JobOutcome()
+    store = Store(
+        spec.store,
+        memory=memory,
+        codec=spec.spill_codec,
+        fan_in=spec.fan_in,
+        sync=False,
+    )
+    try:
+        if spec.op == "store_ingest":
+            applied = 0
+            # repro: lint-waive R002 the oplog is user data at the service boundary (the CLI reads it the same way); store I/O below is seamed
+            with open(spec.input, "r", encoding="utf-8") as handle:
+                lines = _cancellable(
+                    enumerate(handle, start=1), cancel, job_id
+                )
+                for lineno, line in lines:
+                    parsed = parse_op_line(line, lineno)
+                    if parsed is None:
+                        continue
+                    op, key, value = parsed
+                    if op == "put":
+                        store.put(key, value)
+                    else:
+                        store.delete(key)
+                    applied += 1
+            outcome.records_out = applied
+            outcome.report = {
+                "op": spec.op,
+                "applied": applied,
+                "flushed_tables": store.flushed_tables,
+                "flushed_bytes": store.flushed_bytes,
+                "compacted_tables": store.compacted_tables,
+                "compacted_bytes": store.compacted_bytes,
+            }
+            with atomic_output(result_path) as out:
+                json.dump(outcome.report, out, sort_keys=True)
+                out.write("\n")
+        elif spec.op == "store_scan":
+            count = 0
+            with atomic_output(result_path) as out:
+                items = _cancellable(store.scan(), cancel, job_id)
+                for key, value in items:
+                    out.write(format_item(key, value) + "\n")
+                    count += 1
+            outcome.records_out = count
+            outcome.report = {"op": spec.op, "items": count}
+        else:  # store_compact
+            name = store.compact()
+            summary = store.verify()
+            summary["op"] = spec.op
+            summary["output"] = name
+            outcome.records_out = summary["table_records"]
+            outcome.report = summary
+            with atomic_output(result_path) as out:
+                json.dump(summary, out, sort_keys=True)
+                out.write("\n")
+    finally:
+        store.close()
     return outcome

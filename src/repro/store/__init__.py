@@ -1,0 +1,14 @@
+"""LSM storage engine on the sort engine (DESIGN.md §17).
+
+The store turns the batch machinery grown in PRs 1–9 into a read/write
+table: a memtable absorbs puts and deletes, flushes become sorted-run
+SSTables written through the same block I/O that spills sorts, and
+compaction *is* the k-way merge with last-writer-wins dedup.  The §11
+durability invariants (fsync before manifest append, append before
+delete, torn-tail-tolerant JSONL) carry over unchanged — a store is a
+sort whose work directory never gets thrown away.
+"""
+
+from repro.store.store import Store
+
+__all__ = ["Store"]

@@ -1,0 +1,91 @@
+"""Compaction and scan hot loops (DESIGN.md §17).
+
+Merging tables *is* the sort engine's k-way merge: every input is an
+ascending ``(key, meta)`` stream, :func:`~repro.merge.kway.kway_merge`
+interleaves them, and the §17 meta layout makes the two LSM-specific
+steps pure tuple work:
+
+* **Last-writer-wins dedup** — equal keys arrive adjacent after the
+  merge, and the inverted seqno at the front of each meta makes the
+  newest write compare smallest, so keeping the *first* entry of every
+  ``groupby`` key group is LWW.  No seqno is ever unpacked.
+* **Tombstone dropping** — ``entry[1][8]`` is the op byte; comparing
+  it to :data:`~repro.store.format.TOMBSTONE_BYTE` is an int check.
+  Dropping is only legal when the merge saw *every* live table (a
+  tombstone may shadow a put in a table outside the merge), which the
+  caller signals with ``drop_deletes``.
+
+This module is listed in R007's hot modules: per-record ``decode``/
+``key`` calls are lint-banned here, and
+``tests/test_store_faults.py`` instruments the format to prove at
+runtime that none happen.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from operator import itemgetter
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.merge.kway import MergeCounter, kway_merge
+from repro.store.format import META_PREFIX, TOMBSTONE_BYTE
+
+__all__ = [
+    "lww_entries",
+    "live_entries",
+    "merge_streams",
+    "visible_items",
+]
+
+Entry = Tuple[bytes, bytes]
+
+
+def lww_entries(merged: Iterable[Entry]) -> Iterator[Entry]:
+    """Keep only the newest entry of each equal-key group.
+
+    ``merged`` must be sorted (the output of ``kway_merge`` over
+    sorted streams); the inverted seqno makes the newest entry the
+    group minimum, and the heap emits equal tuples in stream order, so
+    the first element of each group is the winner.
+    """
+    for _, group in groupby(merged, itemgetter(0)):
+        yield next(group)
+
+
+def live_entries(entries: Iterable[Entry]) -> Iterator[Entry]:
+    """Drop tombstones — only safe after a full-coverage merge."""
+    for entry in entries:
+        if entry[1][8] != TOMBSTONE_BYTE:
+            yield entry
+
+
+def merge_streams(
+    streams: Sequence[Iterable[Entry]],
+    *,
+    drop_deletes: bool = False,
+    counter: Optional[MergeCounter] = None,
+) -> Iterator[Entry]:
+    """Merge ascending entry streams into one LWW-deduped stream.
+
+    With ``drop_deletes`` the surviving tombstones are removed too —
+    the caller asserts the streams cover every live table, so nothing
+    older can resurface a deleted key.
+    """
+    deduped = lww_entries(kway_merge(streams, counter))
+    if drop_deletes:
+        return live_entries(deduped)
+    return deduped
+
+
+def visible_items(
+    streams: Sequence[Iterable[Entry]],
+    counter: Optional[MergeCounter] = None,
+) -> Iterator[Tuple[bytes, bytes]]:
+    """The user-visible ``(key, value)`` view of merged streams.
+
+    The scan path: newest-wins, tombstones hidden, and the value
+    extracted with one slice per *surviving* record — records shadowed
+    by newer writes or deletes are skipped without any byte work.
+    """
+    for entry in merge_streams(streams, drop_deletes=True, counter=counter):
+        yield entry[0], entry[1][META_PREFIX:]

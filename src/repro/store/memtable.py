@@ -1,0 +1,73 @@
+"""The in-memory write buffer (DESIGN.md §17).
+
+One dict, keyed by raw key bytes, holding the *encoded meta* of the
+newest operation per key — the exact payload a flush writes, so
+flushing is ``sorted(items)`` straight into
+:func:`~repro.store.sstable.write_table` with no re-encoding.
+Tombstones live in the memtable like any other entry: they must flush
+too, or a delete could be forgotten while older tables still hold the
+put it shadows.
+
+Size accounting follows the repo convention that ``memory`` budgets
+count *records*: the memtable is "full" at ``memory`` distinct keys,
+mirroring how every sort backend bounds its resident chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.format import encode_meta
+
+__all__ = ["Memtable"]
+
+
+class Memtable:
+    """Mutable newest-write-per-key map, flushable as a sorted run."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, bytes] = {}
+        #: Highest seqno applied — recorded in the flushed table so
+        #: recovery can restart the seqno counter past it.
+        self.max_seqno = 0
+        #: Raw key+meta bytes resident (reporting only; the flush
+        #: threshold counts records, like every other memory budget).
+        self.payload_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def apply(self, op: bytes, seqno: int, key: bytes, value: bytes) -> None:
+        """Absorb one WAL-logged operation (put or tombstone)."""
+        meta = encode_meta(seqno, op, value)
+        previous = self._entries.get(key)
+        if previous is not None:
+            self.payload_bytes -= len(key) + len(previous)
+        self._entries[key] = meta
+        self.payload_bytes += len(key) + len(meta)
+        if seqno > self.max_seqno:
+            self.max_seqno = seqno
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        """The newest meta for ``key`` (tombstones included), or None."""
+        return self._entries.get(key)
+
+    def sorted_entries(self) -> List[Tuple[bytes, bytes]]:
+        """All entries as the sorted unique run a flush writes."""
+        return sorted(self._entries.items())
+
+    def range_entries(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+    ) -> List[Tuple[bytes, bytes]]:
+        """Sorted entries with ``start <= key < end`` (for scans)."""
+        items = self.sorted_entries()
+        if start is None and end is None:
+            return items
+        return [
+            entry
+            for entry in items
+            if (start is None or entry[0] >= start)
+            and (end is None or entry[0] < end)
+        ]

@@ -1,0 +1,17 @@
+# repro-lint-corpus: src/repro/store/store.py
+# expect: R003:11
+# expect: R003:15
+"""Known-bad store order: the MANIFEST claims an un-fsynced table
+(``fsync=False`` is not a durability event), and a WAL is deleted
+before the append that supersedes it."""
+
+
+def flush_without_fsync(manifest, table_path, entries):
+    write_table(table_path, entries, fsync=False)
+    manifest.append({"type": "flush", "file": table_path})
+
+
+def wal_deleted_before_manifest(manifest, table_path, wal_path, entries):
+    os.remove(wal_path)
+    write_table(table_path, entries, fsync=True)
+    manifest.append({"type": "flush", "file": table_path})
